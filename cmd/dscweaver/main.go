@@ -1,0 +1,225 @@
+// Command dscweaver runs the full weaver pipeline on a DSCL document:
+// merge the declared dependencies into synchronization constraints
+// (§4.2), desugar, translate service dependencies (§4.3), compute the
+// minimal constraint set (§4.4), validate it through the Petri-net
+// stage (§4.1), and optionally emit BPEL and execute the process with
+// no-op activities.
+//
+// Usage:
+//
+//	dscweaver [flags] process.dscl
+//
+//	-seqlang       treat the input as seqlang (sequencing constructs);
+//	               data/control dependencies are extracted via PDG
+//	-bpel FILE     write the generated BPEL document to FILE
+//	-validate      run Petri-net soundness checking (default true)
+//	-run           execute the minimal set with no-op activities and
+//	               print the trace
+//	-v             print every pipeline stage
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dscweaver/internal/bpel"
+	"dscweaver/internal/core"
+	"dscweaver/internal/decentral"
+	"dscweaver/internal/dscl"
+	"dscweaver/internal/pdg"
+	"dscweaver/internal/petri"
+	"dscweaver/internal/schedule"
+)
+
+func main() {
+	seqlang := flag.Bool("seqlang", false, "input is seqlang (sequencing constructs), extract dependencies via PDG")
+	bpelOut := flag.String("bpel", "", "write generated BPEL to this file")
+	structured := flag.Bool("structured", false, "fold unconditional chains into <sequence> constructs in the BPEL output")
+	validate := flag.Bool("validate", true, "run Petri-net soundness validation")
+	run := flag.Bool("run", false, "execute the minimal set with no-op activities")
+	traceOut := flag.String("trace", "", "with -run, write the execution trace as JSON to this file")
+	dotOut := flag.String("dot", "", "write the minimal constraint graph as Graphviz to this file")
+	decentralize := flag.Bool("decentral", false, "print a decentralized placement of the minimal set across service hosts")
+	explain := flag.String("explain", "", "explain why constraints were removed: 'all' or a substring of the constraint")
+	verbose := flag.Bool("v", false, "print every pipeline stage")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dscweaver [flags] process.dscl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var proc *core.Process
+	var sc *core.ConstraintSet
+	if *seqlang {
+		ex, err := pdg.Extract(string(src))
+		if err != nil {
+			fail(err)
+		}
+		proc = ex.Proc
+		sc, err = core.Merge(proc, ex.Deps)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("extracted %d dependencies from sequencing constructs\n", ex.Deps.Len())
+	} else {
+		doc, err := dscl.Load(string(src))
+		if err != nil {
+			fail(err)
+		}
+		proc = doc.Proc
+		sc, err = doc.ConstraintSet()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded %d dependencies, %d raw constraints\n", doc.Deps.Len(), doc.Extra.Len())
+	}
+
+	if err := sc.Desugar(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("merged constraint set: %d constraints\n", sc.Len())
+	if *verbose {
+		fmt.Println(dscl.PrintConstraints(sc))
+		fmt.Println()
+	}
+
+	guards, err := core.DeriveGuards(sc)
+	if err != nil {
+		fail(err)
+	}
+
+	asc, err := core.TranslateServices(sc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("after service translation:  %d constraints\n", asc.Len())
+
+	res, err := core.Minimize(asc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("minimal constraint set:     %d constraints (%d removed, %d equivalence checks)\n",
+		res.Minimal.Len(), len(res.Removed), res.EquivalenceChecks)
+	if *verbose {
+		fmt.Println(dscl.PrintConstraints(res.Minimal))
+		fmt.Println()
+	}
+
+	if *validate {
+		rep, err := petri.Validate(res.Minimal, guards)
+		if err != nil {
+			fail(err)
+		}
+		if !rep.Sound {
+			fmt.Fprintf(os.Stderr, "validation FAILED: deadlocks=%v noCompletion=%v\n", rep.Deadlocks, rep.NoCompletion)
+			os.Exit(1)
+		}
+		fmt.Printf("petri-net validation:       sound (%d states)\n", rep.StateSpace.States)
+	}
+
+	if *explain != "" {
+		removals, err := core.ExplainRemovals(res)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range removals {
+			if *explain != "all" && !strings.Contains(r.Constraint.String(), *explain) {
+				continue
+			}
+			fmt.Println(r)
+		}
+	}
+
+	if *decentralize {
+		cmp, err := decentral.Compare(asc, res.Minimal, decentral.Pin(proc))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("decentralized placement (minimal set):\n%s", cmp.Minimal)
+		fmt.Printf("cross-host messages: unoptimized=%d minimal=%d saved=%d\n",
+			cmp.Unoptimized.CrossEdges, cmp.Minimal.CrossEdges, cmp.MessageSavings())
+	}
+
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(core.ConstraintDOT(proc.Name, res.Minimal)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+
+	if *bpelOut != "" {
+		var doc *bpel.Process
+		var err error
+		if *structured {
+			doc, err = bpel.GenerateStructured(res.Minimal, guards)
+		} else {
+			doc, err = bpel.Generate(res.Minimal)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if err := bpel.Validate(doc); err != nil {
+			fail(err)
+		}
+		data, err := bpel.Marshal(doc)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*bpelOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		stats := bpel.Summarize(doc)
+		fmt.Printf("wrote %s: %d activities, %d links (%d conditional)", *bpelOut,
+			stats.Activities, stats.Links, stats.Conditional)
+		if stats.Sequences > 0 {
+			fmt.Printf(", %d sequences (%d implicit orderings)", stats.Sequences, stats.Implicit)
+		}
+		fmt.Println()
+	}
+
+	if *run {
+		execs := schedule.NoopExecutors(proc, time.Millisecond, nil)
+		eng, err := schedule.New(res.Minimal, execs, schedule.Options{Guards: guards, Timeout: 30 * time.Second})
+		if err != nil {
+			fail(err)
+		}
+		tr, err := eng.Run(context.Background())
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.Validate(asc, guards); err != nil {
+			fail(err)
+		}
+		fmt.Printf("executed: %d activities ran, %d skipped, makespan %v, peak parallelism %d\n",
+			len(tr.Executed()), len(tr.SkippedActivities()), tr.Makespan().Round(time.Millisecond), tr.MaxParallel)
+		if *traceOut != "" {
+			data, err := tr.MarshalJSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *verbose {
+			fmt.Print(tr.String())
+			fmt.Print(tr.Gantt())
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dscweaver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command repro regenerates every table and figure of the paper from
+// the purchasing fixture and prints them with paper-vs-measured
+// headlines.
+//
+// Usage:
+//
+//	repro            # print everything
+//	repro table2     # print one artifact (table1, figure4, figure5,
+//	                 # figure7, figure8, figure9, table2, soundness, bpel)
+//	repro -list      # list artifact ids
+//	repro -dot DIR   # additionally write Graphviz renderings of the
+//	                 # figures into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/pdg"
+	"dscweaver/internal/purchasing"
+	"dscweaver/internal/repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	dotDir := flag.String("dot", "", "write Graphviz .dot files for the figures into this directory")
+	flag.Parse()
+
+	if *dotDir != "" {
+		if err := writeDots(*dotDir); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+
+	results, err := repro.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, r := range results {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		want[strings.ToLower(arg)] = true
+	}
+
+	exit := 0
+	for _, r := range results {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		status := "MATCH"
+		if !r.Match() {
+			status = "MISMATCH"
+			exit = 1
+		}
+		fmt.Printf("==== %s ====\n", r.Title)
+		fmt.Printf("paper: %s | measured: %s | %s\n\n", r.PaperValue, r.MeasuredValue, status)
+		fmt.Println(strings.TrimRight(r.Text, "\n"))
+		fmt.Println()
+	}
+	os.Exit(exit)
+}
+
+// writeDots renders Figures 4–5 (dependency graphs) and 7–9
+// (constraint sets) as Graphviz documents.
+func writeDots(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	toy, err := pdg.Extract(pdg.ToySeqlang)
+	if err != nil {
+		return err
+	}
+	fig5, err := pdg.Extract(pdg.PurchasingSeqlang)
+	if err != nil {
+		return err
+	}
+	merged, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		return err
+	}
+	files := map[string]string{
+		"figure4.dot": core.DependencyDOT("figure4", toy.Deps),
+		"figure5.dot": core.DependencyDOT("figure5", fig5.Deps),
+		"figure7.dot": core.ConstraintDOT("figure7", merged),
+		"figure8.dot": core.ConstraintDOT("figure8", asc),
+		"figure9.dot": core.ConstraintDOT("figure9", res.Minimal),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package dscweaver reproduces "Categorization and Optimization of
+// Synchronization Dependencies in Business Processes" (Wu, Pu, Sahai,
+// Barga — ICDE 2007): a dataflow approach to business-process
+// synchronization in which dependencies — data, control, service and
+// cooperation — are first-class citizens that are merged, optimized to
+// a minimal constraint set, validated through colored Petri nets,
+// compiled to BPEL, and executed by a constraint-driven scheduling
+// engine.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/repro regenerates the paper's tables and
+// figures, cmd/dscweaver runs the full pipeline on DSCL or seqlang
+// input, and bench_test.go times every regenerated artifact plus the
+// scaling and concurrency studies recorded in EXPERIMENTS.md.
+package dscweaver

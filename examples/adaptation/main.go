@@ -1,0 +1,87 @@
+// Process adaptation (§1): "because of the nested structure and
+// scattered code that results from using sequencing constructs, it is
+// hard to add or delete additional constraints without over-specifying
+// necessary constraints or invalidating existing ones." With explicit
+// dependencies this is a local operation: the Adapter keeps the
+// minimal constraint view consistent while business rules come and go
+// on the live Purchasing process.
+//
+//	go run ./examples/adaptation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+)
+
+func main() {
+	adapter, err := core.NewAdapter(purchasing.Process(), purchasing.Dependencies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial minimal set: %d constraints (Figure 9)\n\n", adapter.Minimal().Len())
+
+	report := func(what string, res *core.ChangeResult) {
+		switch {
+		case res.Implied:
+			fmt.Printf("%-60s → already implied, nothing to monitor\n", what)
+		case res.FullRecompute:
+			fmt.Printf("%-60s → load-bearing change, re-optimized\n", what)
+		default:
+			fmt.Printf("%-60s → +%d constraint(s), pruned %d (%d checks)\n",
+				what, len(res.Added), len(res.Pruned), res.EquivalenceChecks)
+		}
+		fmt.Printf("%-60s   minimal set now %d constraints\n", "", adapter.Minimal().Len())
+	}
+
+	// 1. An auditor insists shipping must be booked before production
+	// starts. That ordering is genuinely new.
+	rule1 := core.Dependency{
+		From: core.ActivityNode(purchasing.InvShipPo),
+		To:   core.ActivityNode(purchasing.InvProductionPo),
+		Dim:  core.Cooperation, Label: "audit: book shipping before production",
+	}
+	res, err := adapter.Add(rule1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("add: invShip_po →o invProduction_po (audit rule)", res)
+
+	// 2. A belt-and-braces rule someone proposes: the credit check
+	// must precede the invoice reply. Already implied transitively —
+	// the adapter proves it and adds no monitoring burden. This is
+	// exactly the over-specification that sequencing constructs would
+	// have silently baked in.
+	rule2 := core.Dependency{
+		From: core.ActivityNode(purchasing.InvCreditPo),
+		To:   core.ActivityNode(purchasing.ReplyClientOi),
+		Dim:  core.Cooperation, Label: "credit before reply",
+	}
+	res, err = adapter.Add(rule2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("add: invCredit_po →o replyClient_oi (redundant rule)", res)
+
+	// 3. The audit rule is withdrawn. Its constraint was load-bearing,
+	// so the minimal view is re-derived.
+	res, err = adapter.Remove(rule1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("remove: the audit rule", res)
+
+	// 4. The redundant rule is withdrawn too — a no-op on the minimal
+	// view, detected without re-optimization.
+	res, err = adapter.Remove(rule2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("remove: the redundant rule", res)
+
+	// Back to Figure 9.
+	fmt.Printf("\nfinal minimal set: %d constraints — Figure 9 restored\n", adapter.Minimal().Len())
+}

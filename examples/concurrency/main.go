@@ -1,0 +1,68 @@
+// The concurrency claim, measured: "the removal of redundant
+// dependencies results in a lightweight implementation, enabling …
+// opportunities for concurrent execution" (§1). Layered synthetic
+// processes are executed twice — once under the schedule a
+// sequence-construct implementation imposes (each rank serialized) and
+// once under the minimal dependency set — and the makespans and peak
+// parallelism are compared.
+//
+//	go run ./examples/concurrency
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/schedule"
+	"dscweaver/internal/workload"
+)
+
+func run(sc *core.ConstraintSet, work time.Duration) (time.Duration, int) {
+	execs := schedule.NoopExecutors(sc.Proc, work, nil)
+	eng, err := schedule.New(sc, execs, schedule.Options{Timeout: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := eng.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		log.Fatal(err)
+	}
+	return tr.Makespan(), tr.MaxParallel
+}
+
+func main() {
+	const layers = 6
+	const work = 2 * time.Millisecond
+	fmt.Printf("layered processes, %d ranks, %v of work per activity\n\n", layers, work)
+	fmt.Printf("%-7s %-12s %-12s %-9s %-11s %-11s\n",
+		"width", "constructs", "minimal", "speedup", "par(constr)", "par(min)")
+	for _, width := range []int{1, 2, 4, 8, 16} {
+		w := workload.Layered(layers, width, 0.25, int64(width))
+		base, err := w.SequencingBaseline()
+		if err != nil {
+			log.Fatal(err)
+		}
+		merged, err := w.Constraints()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.MinimizeUnconditional(merged)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tBase, pBase := run(base, work)
+		tMin, pMin := run(res.Minimal, work)
+		fmt.Printf("%-7d %-12v %-12v %-9.2f %-11d %-11d\n",
+			width, tBase.Round(time.Millisecond), tMin.Round(time.Millisecond),
+			float64(tBase)/float64(tMin), pBase, pMin)
+	}
+	fmt.Println("\nthe construct baseline serializes each rank, so its makespan grows with")
+	fmt.Println("width while the minimal dependency set keeps the critical path at the")
+	fmt.Println("number of ranks — the dataflow advantage the paper argues for (§1, §5).")
+}

@@ -1,0 +1,140 @@
+// The deployment process of the paper's Figure 6: middleware and
+// application packages are installed through the same Deploy service,
+// with no data or control dependency between the two invocations —
+// yet the application package must go in after the middleware has set
+// up its directory structure. Only a cooperation dependency can
+// express that (§3.2); this example shows the schedule with and
+// without it against a Deploy service that checks the precondition.
+//
+//	go run ./examples/deployment
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/schedule"
+	"dscweaver/internal/services"
+)
+
+func buildProcess() (*core.Process, *core.DependencySet) {
+	proc := core.NewProcess("Deployment")
+	proc.MustAddService(&core.Service{Name: "Deploy", Ports: []string{"1"}})
+	proc.MustAddActivity(&core.Activity{ID: "recClient_config", Kind: core.KindReceive, Writes: []string{"config"}})
+	proc.MustAddActivity(&core.Activity{ID: "extract_midConfig", Kind: core.KindOpaque, Reads: []string{"config"}, Writes: []string{"midConfig"}})
+	proc.MustAddActivity(&core.Activity{ID: "extract_appConfig", Kind: core.KindOpaque, Reads: []string{"config"}, Writes: []string{"appConfig"}})
+	proc.MustAddActivity(&core.Activity{ID: "invDeploy_midConfig", Kind: core.KindInvoke, Service: "Deploy", Port: "1", Reads: []string{"midConfig"}})
+	proc.MustAddActivity(&core.Activity{ID: "invDeploy_appConfig", Kind: core.KindInvoke, Service: "Deploy", Port: "1", Reads: []string{"appConfig"}})
+
+	deps := core.NewDependencySet()
+	for _, to := range []core.ActivityID{"extract_midConfig", "extract_appConfig"} {
+		deps.Add(core.Dependency{From: core.ActivityNode("recClient_config"), To: core.ActivityNode(to), Dim: core.Data, Label: "config"})
+	}
+	deps.Add(core.Dependency{From: core.ActivityNode("extract_midConfig"), To: core.ActivityNode("invDeploy_midConfig"), Dim: core.Data, Label: "midConfig"})
+	deps.Add(core.Dependency{From: core.ActivityNode("extract_appConfig"), To: core.ActivityNode("invDeploy_appConfig"), Dim: core.Data, Label: "appConfig"})
+	return proc, deps
+}
+
+// deployService checks the Figure 6 precondition: installing the
+// application package requires the middleware's directory structure
+// (a servlet needs $Tomcat/webapp to exist).
+func deployService() services.Config {
+	return services.Config{
+		Name: "Deploy", Ports: []string{"1"},
+		Handle: func(c *services.Call) ([]services.Emit, error) {
+			pkg := fmt.Sprint(c.Payload)
+			switch pkg {
+			case "middleware":
+				c.State["middleware"] = true
+				return nil, nil
+			case "application":
+				if c.State["middleware"] != true {
+					return nil, fmt.Errorf("deploy: application package before middleware: no $Tomcat/webapp directory")
+				}
+				return nil, nil
+			default:
+				return nil, fmt.Errorf("deploy: unknown package %q", pkg)
+			}
+		},
+	}
+}
+
+func run(withCoop bool) {
+	proc, deps := buildProcess()
+	if withCoop {
+		deps.Add(core.Dependency{
+			From: core.ActivityNode("invDeploy_midConfig"),
+			To:   core.ActivityNode("invDeploy_appConfig"),
+			Dim:  core.Cooperation, Label: "middleware sets up directories for the application package",
+		})
+	}
+	sc, err := core.Merge(proc, deps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Minimize(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Executors: extracts compute package names; invokes call Deploy.
+	// The middleware invocation is deliberately slowed so that without
+	// the cooperation dependency the application package reliably
+	// overtakes it.
+	bus := services.NewBus(0)
+	if err := bus.Register(deployService()); err != nil {
+		log.Fatal(err)
+	}
+	execs := map[core.ActivityID]schedule.Executor{
+		"extract_midConfig": func(ctx context.Context, a *core.Activity, v *schedule.Vars) (schedule.Outcome, error) {
+			v.Set("midConfig", "middleware")
+			return schedule.Outcome{}, nil
+		},
+		"extract_appConfig": func(ctx context.Context, a *core.Activity, v *schedule.Vars) (schedule.Outcome, error) {
+			v.Set("appConfig", "application")
+			return schedule.Outcome{}, nil
+		},
+		"invDeploy_midConfig": func(ctx context.Context, a *core.Activity, v *schedule.Vars) (schedule.Outcome, error) {
+			time.Sleep(20 * time.Millisecond)
+			pkg, _ := v.Get("midConfig")
+			return schedule.Outcome{}, bus.Invoke("Deploy", "1", pkg)
+		},
+		"invDeploy_appConfig": func(ctx context.Context, a *core.Activity, v *schedule.Vars) (schedule.Outcome, error) {
+			pkg, _ := v.Get("appConfig")
+			return schedule.Outcome{}, bus.Invoke("Deploy", "1", pkg)
+		},
+	}
+	eng, err := schedule.New(res.Minimal, execs, schedule.Options{
+		Inputs: map[string]any{"config": "bundle-7"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := eng.Run(context.Background())
+	if err != nil {
+		log.Fatalf("%v\n%s", err, tr)
+	}
+	bus.Close()
+	var fault error
+	for cb := range bus.Inbox() {
+		if cb.Err != nil {
+			fault = cb.Err
+		}
+	}
+	fmt.Printf("cooperation dependency declared: %-5v → constraints=%d, ", withCoop, res.Minimal.Len())
+	if fault != nil {
+		fmt.Printf("DEPLOYMENT FAILED: %v\n", fault)
+	} else {
+		fmt.Printf("deployment succeeded\n")
+	}
+}
+
+func main() {
+	fmt.Println("Figure 6 deployment process — the implicit middleware→application ordering")
+	fmt.Println()
+	run(false) // races: application package may land before middleware
+	run(true)  // cooperation dependency enforces the implicit ordering
+}

@@ -1,0 +1,3 @@
+module dscweaver
+
+go 1.22

@@ -1,0 +1,296 @@
+// Package bpel models the subset of BPEL4WS that DSCWeaver's code
+// generation stage targets ([22]): a single graph-structured <flow>
+// with <links>, per-activity <source>/<target> link attachments,
+// transitionCondition expressions on branch outcomes, and dead-path
+// elimination via suppressJoinFailure. Generate lowers an optimized
+// constraint set to a Process document; Marshal/Parse round-trip the
+// XML with encoding/xml; Validate performs the static checks a BPEL
+// engine would reject a document for (duplicate names, dangling or
+// multiply-attached links, cyclic control flow).
+package bpel
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Namespace is the BPEL4WS 1.1 namespace the generator stamps on
+// documents.
+const Namespace = "http://schemas.xmlsoap.org/ws/2003/03/business-process/"
+
+// Process is the document root.
+type Process struct {
+	XMLName             xml.Name      `xml:"process"`
+	Name                string        `xml:"name,attr"`
+	TargetNamespace     string        `xml:"targetNamespace,attr,omitempty"`
+	Xmlns               string        `xml:"xmlns,attr,omitempty"`
+	SuppressJoinFailure string        `xml:"suppressJoinFailure,attr,omitempty"`
+	PartnerLinks        *PartnerLinks `xml:"partnerLinks,omitempty"`
+	Variables           *Variables    `xml:"variables,omitempty"`
+	Flow                *Flow         `xml:"flow,omitempty"`
+	Sequence            *Sequence     `xml:"sequence,omitempty"`
+}
+
+// PartnerLinks wraps the partner-link declarations.
+type PartnerLinks struct {
+	Items []PartnerLink `xml:"partnerLink"`
+}
+
+// PartnerLink names one remote service the process converses with.
+type PartnerLink struct {
+	Name        string `xml:"name,attr"`
+	PartnerRole string `xml:"partnerRole,attr,omitempty"`
+	MyRole      string `xml:"myRole,attr,omitempty"`
+}
+
+// Variables wraps the variable declarations.
+type Variables struct {
+	Items []Variable `xml:"variable"`
+}
+
+// Variable declares one process variable.
+type Variable struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr,omitempty"`
+}
+
+// Flow is the parallel construct; its children synchronize only
+// through links. GenerateStructured additionally nests sequences whose
+// internal order is implicit (their activities may still carry links
+// for cross-sequence synchronization, which BPEL permits).
+type Flow struct {
+	Links     *Links      `xml:"links,omitempty"`
+	Sequences []*Sequence `xml:"sequence,omitempty"`
+	Receives  []*Receive  `xml:"receive,omitempty"`
+	Invokes   []*Invoke   `xml:"invoke,omitempty"`
+	Replies   []*Reply    `xml:"reply,omitempty"`
+	Assigns   []*Assign   `xml:"assign,omitempty"`
+	Empties   []*Empty    `xml:"empty,omitempty"`
+}
+
+// Links wraps link declarations.
+type Links struct {
+	Items []Link `xml:"link"`
+}
+
+// Link is a named synchronization edge of a flow.
+type Link struct {
+	Name string `xml:"name,attr"`
+}
+
+// Common carries the attributes and link attachments shared by every
+// BPEL activity.
+type Common struct {
+	Name                string   `xml:"name,attr"`
+	JoinCondition       string   `xml:"joinCondition,attr,omitempty"`
+	SuppressJoinFailure string   `xml:"suppressJoinFailure,attr,omitempty"`
+	Targets             []Target `xml:"target,omitempty"`
+	Sources             []Source `xml:"source,omitempty"`
+}
+
+// Target attaches an incoming link.
+type Target struct {
+	LinkName string `xml:"linkName,attr"`
+}
+
+// Source attaches an outgoing link, optionally guarded.
+type Source struct {
+	LinkName            string `xml:"linkName,attr"`
+	TransitionCondition string `xml:"transitionCondition,attr,omitempty"`
+}
+
+// Receive waits for an inbound message.
+type Receive struct {
+	Common
+	PartnerLink string `xml:"partnerLink,attr,omitempty"`
+	Operation   string `xml:"operation,attr,omitempty"`
+	Variable    string `xml:"variable,attr,omitempty"`
+}
+
+// Invoke calls a partner operation.
+type Invoke struct {
+	Common
+	PartnerLink   string `xml:"partnerLink,attr,omitempty"`
+	Operation     string `xml:"operation,attr,omitempty"`
+	InputVariable string `xml:"inputVariable,attr,omitempty"`
+}
+
+// Reply answers the process client.
+type Reply struct {
+	Common
+	PartnerLink string `xml:"partnerLink,attr,omitempty"`
+	Operation   string `xml:"operation,attr,omitempty"`
+	Variable    string `xml:"variable,attr,omitempty"`
+}
+
+// Assign performs local data manipulation; decisions lower to assigns
+// that evaluate their predicate into a variable read by the
+// transitionConditions of their outgoing links.
+type Assign struct {
+	Common
+	Copies []Copy `xml:"copy,omitempty"`
+}
+
+// Copy is one from/to pair of an assign.
+type Copy struct {
+	From Expr `xml:"from"`
+	To   Expr `xml:"to"`
+}
+
+// Expr is a from/to endpoint: either a variable reference or a literal
+// expression.
+type Expr struct {
+	Variable   string `xml:"variable,attr,omitempty"`
+	Expression string `xml:"expression,attr,omitempty"`
+}
+
+// Empty is the no-op activity; opaque local computations lower to it.
+type Empty struct {
+	Common
+}
+
+// Sequence executes its items in document order. Items are pointers to
+// Receive, Invoke, Reply, Assign or Empty; mixed kinds keep their
+// order through custom XML marshalling.
+type Sequence struct {
+	Name  string
+	Items []any
+}
+
+// MarshalXML writes the sequence with its items in order.
+func (s *Sequence) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	start.Name.Local = "sequence"
+	start.Attr = nil
+	if s.Name != "" {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: "name"}, Value: s.Name})
+	}
+	if err := e.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, item := range s.Items {
+		var local string
+		switch item.(type) {
+		case *Receive:
+			local = "receive"
+		case *Invoke:
+			local = "invoke"
+		case *Reply:
+			local = "reply"
+		case *Assign:
+			local = "assign"
+		case *Empty:
+			local = "empty"
+		default:
+			return fmt.Errorf("bpel: sequence %q holds unsupported item %T", s.Name, item)
+		}
+		if err := e.EncodeElement(item, xml.StartElement{Name: xml.Name{Local: local}}); err != nil {
+			return err
+		}
+	}
+	return e.EncodeToken(start.End())
+}
+
+// UnmarshalXML reads the items back in document order.
+func (s *Sequence) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for _, a := range start.Attr {
+		if a.Name.Local == "name" {
+			s.Name = a.Value
+		}
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var item any
+			switch t.Name.Local {
+			case "receive":
+				item = &Receive{}
+			case "invoke":
+				item = &Invoke{}
+			case "reply":
+				item = &Reply{}
+			case "assign":
+				item = &Assign{}
+			case "empty":
+				item = &Empty{}
+			default:
+				return fmt.Errorf("bpel: sequence holds unsupported element <%s>", t.Name.Local)
+			}
+			if err := d.DecodeElement(item, &t); err != nil {
+				return err
+			}
+			s.Items = append(s.Items, item)
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// activities returns the items' common headers in order.
+func (s *Sequence) activities() []*Common {
+	var out []*Common
+	for _, item := range s.Items {
+		switch a := item.(type) {
+		case *Receive:
+			out = append(out, &a.Common)
+		case *Invoke:
+			out = append(out, &a.Common)
+		case *Reply:
+			out = append(out, &a.Common)
+		case *Assign:
+			out = append(out, &a.Common)
+		case *Empty:
+			out = append(out, &a.Common)
+		}
+	}
+	return out
+}
+
+// Marshal renders the document with an XML header and two-space
+// indentation.
+func Marshal(p *Process) ([]byte, error) {
+	body, err := xml.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bpel: %w", err)
+	}
+	return append([]byte(xml.Header), append(body, '\n')...), nil
+}
+
+// Parse reads a document produced by Marshal (or hand-written in the
+// same subset).
+func Parse(data []byte) (*Process, error) {
+	var p Process
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("bpel: %w", err)
+	}
+	return &p, nil
+}
+
+// activities returns every activity of a flow with its common header,
+// in declaration order per element kind, including activities nested
+// inside sequences.
+func (f *Flow) activities() []*Common {
+	var out []*Common
+	for _, s := range f.Sequences {
+		out = append(out, s.activities()...)
+	}
+	for _, a := range f.Receives {
+		out = append(out, &a.Common)
+	}
+	for _, a := range f.Invokes {
+		out = append(out, &a.Common)
+	}
+	for _, a := range f.Replies {
+		out = append(out, &a.Common)
+	}
+	for _, a := range f.Assigns {
+		out = append(out, &a.Common)
+	}
+	for _, a := range f.Empties {
+		out = append(out, &a.Common)
+	}
+	return out
+}

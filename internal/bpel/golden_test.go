@@ -1,0 +1,37 @@
+package bpel
+
+import (
+	"os"
+	"testing"
+
+	"dscweaver/internal/purchasing"
+)
+
+// TestGoldenPurchasingBPEL pins the generated document byte-for-byte:
+// codegen drift (attribute ordering, link naming, condition rendering)
+// must be deliberate. Regenerate with:
+//
+//	go run ./cmd/dscweaver -bpel internal/bpel/testdata/purchasing_golden.xml \
+//	    internal/dscl/testdata/purchasing.dscl
+func TestGoldenPurchasingBPEL(t *testing.T) {
+	want, err := os.ReadFile("testdata/purchasing_golden.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Generate(res.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("generated BPEL drifted from golden file (len %d vs %d)\n--- got ---\n%.600s",
+			len(got), len(want), got)
+	}
+}

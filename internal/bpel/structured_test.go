@@ -1,0 +1,143 @@
+package bpel
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+)
+
+func TestGenerateStructuredPurchasing(t *testing.T) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := GenerateStructured(res.Minimal, guards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(doc)
+	if stats.Activities != 14 {
+		t.Errorf("activities = %d, want 14", stats.Activities)
+	}
+	// The unguarded unconditional chain recClient_po → invCredit_po →
+	// recCredit_au → if_au folds into one sequence (3 implicit
+	// orderings); everything guarded stays in link form.
+	if stats.Sequences != 1 {
+		t.Fatalf("sequences = %d, want 1 (%+v)", stats.Sequences, stats)
+	}
+	if stats.Implicit != 3 {
+		t.Errorf("implicit orderings = %d, want 3", stats.Implicit)
+	}
+	// Ordering information is conserved: links + implicit = 17.
+	if stats.Links+stats.Implicit != 17 {
+		t.Errorf("links(%d) + implicit(%d) != 17", stats.Links, stats.Implicit)
+	}
+	seq := doc.Flow.Sequences[0]
+	wantOrder := []string{"recClient_po", "invCredit_po", "recCredit_au", "if_au"}
+	acts := seq.activities()
+	if len(acts) != len(wantOrder) {
+		t.Fatalf("sequence has %d items, want %d", len(acts), len(wantOrder))
+	}
+	for i, a := range acts {
+		if a.Name != wantOrder[i] {
+			t.Errorf("sequence item %d = %s, want %s", i, a.Name, wantOrder[i])
+		}
+	}
+	// The decision keeps its conditional source links inside the
+	// sequence (cross-boundary links are legal BPEL).
+	ifAu := acts[3]
+	if len(ifAu.Sources) != 4 {
+		t.Errorf("if_au sources = %d, want 4", len(ifAu.Sources))
+	}
+	// Interior link attachments were stripped.
+	if len(acts[0].Sources) != 0 || len(acts[1].Targets) != 0 {
+		t.Errorf("interior links not stripped: %+v / %+v", acts[0], acts[1])
+	}
+}
+
+func TestGenerateStructuredRoundTrip(t *testing.T) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := GenerateStructured(res.Minimal, guards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `<sequence name="seq_recClient_po">`) {
+		t.Errorf("serialized document missing sequence:\n%.400s", data)
+	}
+	doc2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(doc2); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := Summarize(doc), Summarize(doc2)
+	if s1 != s2 {
+		t.Errorf("stats changed across round trip: %+v vs %+v", s1, s2)
+	}
+	// Order inside the sequence survives the round trip.
+	if got := doc2.Flow.Sequences[0].activities()[1].Name; got != "invCredit_po" {
+		t.Errorf("second sequence item after round trip = %s", got)
+	}
+}
+
+func TestGenerateStructuredNilGuardsFoldsChains(t *testing.T) {
+	p := core.NewProcess("chain")
+	for _, id := range []core.ActivityID{"a", "b", "c"} {
+		p.MustAddActivity(&core.Activity{ID: id, Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(p)
+	sc.Before("a", "b", core.Data)
+	sc.Before("b", "c", core.Data)
+	doc, err := GenerateStructured(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(doc)
+	if stats.Sequences != 1 || stats.Links != 0 || stats.Implicit != 2 {
+		t.Errorf("stats = %+v, want one fully folded sequence", stats)
+	}
+}
+
+func TestGenerateStructuredKeepsDiamondAsLinks(t *testing.T) {
+	p := core.NewProcess("diamond")
+	for _, id := range []core.ActivityID{"a", "b", "c", "d"} {
+		p.MustAddActivity(&core.Activity{ID: id, Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(p)
+	sc.Before("a", "b", core.Data)
+	sc.Before("a", "c", core.Data)
+	sc.Before("b", "d", core.Data)
+	sc.Before("c", "d", core.Data)
+	doc, err := GenerateStructured(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(doc)
+	if stats.Sequences != 0 || stats.Links != 4 {
+		t.Errorf("diamond folded incorrectly: %+v", stats)
+	}
+}

@@ -1,0 +1,142 @@
+package bpel
+
+import (
+	"fmt"
+
+	"dscweaver/internal/graph"
+)
+
+// Validate performs the static checks of the BPEL flow/link subset:
+//
+//   - activity names are unique and nonempty;
+//   - every declared link has exactly one source and one target
+//     attachment, and every attachment references a declared link;
+//   - no activity is both source and target of the same link;
+//   - the link graph is acyclic (a BPEL static-analysis requirement:
+//     links must not create control cycles).
+//
+// It returns nil when the document is well-formed.
+func Validate(p *Process) error {
+	if p.Flow == nil {
+		return fmt.Errorf("bpel: process %s has no flow", p.Name)
+	}
+	acts := p.Flow.activities()
+	byName := map[string]int{}
+	for i, a := range acts {
+		if a.Name == "" {
+			return fmt.Errorf("bpel: unnamed activity at index %d", i)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return fmt.Errorf("bpel: duplicate activity name %q", a.Name)
+		}
+		byName[a.Name] = i
+	}
+
+	declared := map[string]bool{}
+	if p.Flow.Links != nil {
+		for _, l := range p.Flow.Links.Items {
+			if l.Name == "" {
+				return fmt.Errorf("bpel: unnamed link")
+			}
+			if declared[l.Name] {
+				return fmt.Errorf("bpel: duplicate link %q", l.Name)
+			}
+			declared[l.Name] = true
+		}
+	}
+
+	srcOf := map[string]string{}
+	dstOf := map[string]string{}
+	for _, a := range acts {
+		for _, s := range a.Sources {
+			if !declared[s.LinkName] {
+				return fmt.Errorf("bpel: activity %q sources undeclared link %q", a.Name, s.LinkName)
+			}
+			if prev, dup := srcOf[s.LinkName]; dup {
+				return fmt.Errorf("bpel: link %q has two sources (%q, %q)", s.LinkName, prev, a.Name)
+			}
+			srcOf[s.LinkName] = a.Name
+		}
+		for _, t := range a.Targets {
+			if !declared[t.LinkName] {
+				return fmt.Errorf("bpel: activity %q targets undeclared link %q", a.Name, t.LinkName)
+			}
+			if prev, dup := dstOf[t.LinkName]; dup {
+				return fmt.Errorf("bpel: link %q has two targets (%q, %q)", t.LinkName, prev, a.Name)
+			}
+			dstOf[t.LinkName] = a.Name
+		}
+	}
+	for l := range declared {
+		if _, ok := srcOf[l]; !ok {
+			return fmt.Errorf("bpel: link %q has no source", l)
+		}
+		if _, ok := dstOf[l]; !ok {
+			return fmt.Errorf("bpel: link %q has no target", l)
+		}
+		if srcOf[l] == dstOf[l] {
+			return fmt.Errorf("bpel: link %q loops on activity %q", l, srcOf[l])
+		}
+	}
+
+	// Acyclicity of the control graph: links plus the implicit order
+	// of nested sequences.
+	g := graph.New(len(acts))
+	for range acts {
+		g.AddNode()
+	}
+	for l, src := range srcOf {
+		g.AddEdge(byName[src], byName[dstOf[l]])
+	}
+	for _, s := range p.Flow.Sequences {
+		items := s.activities()
+		for i := 0; i+1 < len(items); i++ {
+			g.AddEdge(byName[items[i].Name], byName[items[i+1].Name])
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		cyc := g.FindCycle()
+		names := make([]string, len(cyc))
+		for i, v := range cyc {
+			names[i] = acts[v].Name
+		}
+		return fmt.Errorf("bpel: links form a control cycle: %v", names)
+	}
+	return nil
+}
+
+// Stats summarizes a document for reporting.
+type Stats struct {
+	Activities  int
+	Links       int
+	Conditional int // links with a transitionCondition
+	Sequences   int // nested sequences (GenerateStructured)
+	Implicit    int // orderings implicit in nested sequences
+}
+
+// Summarize counts the document's elements.
+func Summarize(p *Process) Stats {
+	var s Stats
+	if p.Flow == nil {
+		return s
+	}
+	acts := p.Flow.activities()
+	s.Activities = len(acts)
+	if p.Flow.Links != nil {
+		s.Links = len(p.Flow.Links.Items)
+	}
+	for _, a := range acts {
+		for _, src := range a.Sources {
+			if src.TransitionCondition != "" {
+				s.Conditional++
+			}
+		}
+	}
+	s.Sequences = len(p.Flow.Sequences)
+	for _, seq := range p.Flow.Sequences {
+		if n := len(seq.activities()); n > 1 {
+			s.Implicit += n - 1
+		}
+	}
+	return s
+}

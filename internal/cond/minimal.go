@@ -1,0 +1,212 @@
+package cond
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Minimal returns an expression semantically equal to e over the given
+// branch domains with a greedily minimized DNF: implicants are
+// enumerated most-general-first and chosen by set cover over e's
+// satisfying assignments. Unlike Simplify (a cheap syntactic fold used
+// in inner loops), Minimal performs full semantic minimization and is
+// meant for presentation — rendering closure annotations and guard
+// expressions in their most readable form.
+//
+// The enumeration is bounded: expressions over more than maxMinimalDecisions
+// decisions are returned unchanged (after Simplify) rather than risking
+// exponential work.
+func Minimal(e Expr, doms Domains) (Expr, error) {
+	decisions := e.Decisions()
+	if len(decisions) == 0 {
+		return e, nil
+	}
+	if len(decisions) > maxMinimalDecisions {
+		return Simplify(e, doms), nil
+	}
+
+	// Enumerate the onset: all satisfying total assignments.
+	var onset []map[string]string
+	total := 1
+	for _, d := range decisions {
+		total *= len(doms.valuesOf(d))
+		if total > MaxEnumeration {
+			return Expr{}, fmt.Errorf("cond: Minimal: %d decisions exceed enumeration bound", len(decisions))
+		}
+	}
+	all, err := enumerate(decisions, doms, func(assign map[string]string) bool {
+		if e.Eval(assign) {
+			cp := make(map[string]string, len(assign))
+			for k, v := range assign {
+				cp[k] = v
+			}
+			onset = append(onset, cp)
+		}
+		return true
+	})
+	_ = all
+	if err != nil {
+		return Expr{}, err
+	}
+	if len(onset) == 0 {
+		return False(), nil
+	}
+	if len(onset) == total {
+		return True(), nil
+	}
+
+	// Candidate implicants: conjunctions over decision subsets, most
+	// general (fewest literals) first. A candidate is an implicant if
+	// every assignment it covers satisfies e; it is useful if it
+	// covers at least one uncovered onset row.
+	type cand struct {
+		t term
+	}
+	var cands []cand
+	subsets := subsetsBySize(decisions)
+	for _, subset := range subsets {
+		var build func(i int, acc []Literal)
+		build = func(i int, acc []Literal) {
+			if i == len(subset) {
+				t, _ := normalizeTerm(acc)
+				cands = append(cands, cand{t: append(term(nil), t...)})
+				return
+			}
+			for _, v := range doms.valuesOf(subset[i]) {
+				build(i+1, append(acc, Literal{Decision: subset[i], Value: v}))
+			}
+		}
+		build(0, nil)
+	}
+
+	covers := func(t term, assign map[string]string) bool {
+		for _, l := range t {
+			if assign[l.Decision] != l.Value {
+				return false
+			}
+		}
+		return true
+	}
+	isImplicant := func(t term) bool {
+		// Every assignment consistent with t must satisfy e: check by
+		// enumerating the free decisions of t.
+		free := make([]string, 0, len(decisions))
+		fixed := map[string]string{}
+		for _, l := range t {
+			fixed[l.Decision] = l.Value
+		}
+		for _, d := range decisions {
+			if _, ok := fixed[d]; !ok {
+				free = append(free, d)
+			}
+		}
+		ok, err := enumerate(free, doms, func(assign map[string]string) bool {
+			full := make(map[string]string, len(decisions))
+			for k, v := range fixed {
+				full[k] = v
+			}
+			for k, v := range assign {
+				full[k] = v
+			}
+			return e.Eval(full)
+		})
+		return err == nil && ok
+	}
+
+	// Keep only (prime-ish) implicants.
+	var implicants []term
+	for _, c := range cands {
+		if isImplicant(c.t) {
+			implicants = append(implicants, c.t)
+		}
+	}
+
+	// Best-gain greedy cover: each round pick the implicant covering
+	// the most uncovered onset rows; ties break toward fewer literals,
+	// then candidate order (most general first).
+	covered := make([]bool, len(onset))
+	remaining := len(onset)
+	var chosen []term
+	for remaining > 0 {
+		bestIdx, bestGain := -1, 0
+		for i, t := range implicants {
+			gain := 0
+			for j, assign := range onset {
+				if !covered[j] && covers(t, assign) {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && bestIdx >= 0 && len(t) < len(implicants[bestIdx])) {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			// Cannot happen (full terms are always implicants), but
+			// never return something unequal.
+			return Simplify(e, doms), nil
+		}
+		t := implicants[bestIdx]
+		chosen = append(chosen, t)
+		for j, assign := range onset {
+			if !covered[j] && covers(t, assign) {
+				covered[j] = true
+				remaining--
+			}
+		}
+	}
+
+	// Irredundancy pass: drop any chosen term whose rows the rest
+	// still cover.
+	for i := 0; i < len(chosen); i++ {
+		needed := false
+		for _, assign := range onset {
+			if !covers(chosen[i], assign) {
+				continue
+			}
+			coveredByOther := false
+			for j, o := range chosen {
+				if j != i && covers(o, assign) {
+					coveredByOther = true
+					break
+				}
+			}
+			if !coveredByOther {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			chosen = append(chosen[:i], chosen[i+1:]...)
+			i--
+		}
+	}
+
+	result := normalize(chosen)
+	if s := Simplify(e, doms); len(s.terms) < len(result.terms) {
+		return s, nil
+	}
+	return result, nil
+}
+
+// maxMinimalDecisions bounds Minimal's candidate enumeration (the
+// candidate count is 3^n for boolean domains).
+const maxMinimalDecisions = 8
+
+// subsetsBySize returns all subsets of decisions ordered by size
+// ascending, then lexicographically — so Minimal tries the most
+// general implicants first.
+func subsetsBySize(decisions []string) [][]string {
+	n := len(decisions)
+	var out [][]string
+	for mask := 0; mask < 1<<n; mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, decisions[i])
+			}
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}

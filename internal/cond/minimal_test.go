@@ -1,0 +1,118 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimalTautology(t *testing.T) {
+	e := Or(Lit("x", "T"), Lit("x", "F"))
+	m, err := Minimal(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsTrue() {
+		t.Errorf("Minimal(x=T ∨ x=F) = %v, want ⊤", m)
+	}
+}
+
+func TestMinimalAbsorbsSubsumption(t *testing.T) {
+	// (a=T ∧ b=T) ∨ (a=T ∧ b=F) ∨ (a=F ∧ b=T) minimizes to a=T ∨ b=T.
+	e := Or(
+		And(Lit("a", "T"), Lit("b", "T")),
+		And(Lit("a", "T"), Lit("b", "F")),
+		And(Lit("a", "F"), Lit("b", "T")),
+	)
+	m, err := Minimal(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "(a=T) ∨ (b=T)" {
+		t.Errorf("Minimal = %q, want (a=T) ∨ (b=T)", got)
+	}
+}
+
+func TestMinimalFalse(t *testing.T) {
+	e := And(Lit("x", "T"), Lit("x", "F"))
+	m, err := Minimal(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsFalse() {
+		t.Errorf("Minimal of contradiction = %v", m)
+	}
+}
+
+func TestMinimalNoDecisionsPassthrough(t *testing.T) {
+	for _, e := range []Expr{True(), False()} {
+		m, err := Minimal(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != e.String() {
+			t.Errorf("Minimal(%v) = %v", e, m)
+		}
+	}
+}
+
+func TestMinimalTernaryDomain(t *testing.T) {
+	doms := Domains{"sw": {"A", "B", "C"}}
+	// sw≠C expressed as A ∨ B: already minimal over a ternary domain.
+	e := Or(Lit("sw", "A"), Lit("sw", "B"))
+	m, err := Minimal(e, doms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equal(e, m, doms)
+	if err != nil || !eq {
+		t.Fatalf("Minimal changed semantics: %v vs %v", e, m)
+	}
+	if len(m.Terms()) != 2 {
+		t.Errorf("Minimal = %v, want two terms", m)
+	}
+}
+
+func TestQuickMinimalPreservesSemanticsAndShrinks(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	assigns := allAssignments()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4)
+		m, err := Minimal(e, nil)
+		if err != nil {
+			return false
+		}
+		for _, a := range assigns {
+			if e.Eval(a) != m.Eval(a) {
+				return false
+			}
+		}
+		// Never larger than the Simplify form.
+		s := Simplify(e, nil)
+		return len(m.Terms()) <= len(s.Terms())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimalIdempotent(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		m1, err := Minimal(e, nil)
+		if err != nil {
+			return false
+		}
+		m2, err := Minimal(m1, nil)
+		if err != nil {
+			return false
+		}
+		return m1.String() == m2.String()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

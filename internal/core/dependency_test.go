@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDependencySetDedup(t *testing.T) {
+	s := NewDependencySet()
+	d := Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data, Label: "x"}
+	if !s.Add(d) {
+		t.Error("first Add = false")
+	}
+	if s.Add(d) {
+		t.Error("duplicate Add = true")
+	}
+	// Same pair in a different dimension is a distinct dependency.
+	d2 := d
+	d2.Dim = Cooperation
+	if !s.Add(d2) {
+		t.Error("same pair, different dimension rejected")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestDependencyString(t *testing.T) {
+	d := Dependency{From: ActivityNode("if_au"), To: ActivityNode("set_oi"), Dim: Control, Branch: "F"}
+	if got := d.String(); got != "if_au →c[F] set_oi" {
+		t.Errorf("String = %q", got)
+	}
+	d2 := Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data}
+	if got := d2.String(); got != "a →d b" {
+		t.Errorf("String = %q", got)
+	}
+	d3 := Dependency{From: ActivityNode("a"), To: ServiceNode("S", "1"), Dim: ServiceDim}
+	if got := d3.String(); got != "a →s S.1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDimensionArrows(t *testing.T) {
+	for dim, want := range map[Dimension]string{
+		Data: "→d", Control: "→c", ServiceDim: "→s", Cooperation: "→o",
+	} {
+		if dim.Arrow() != want {
+			t.Errorf("%v.Arrow() = %q, want %q", dim, dim.Arrow(), want)
+		}
+	}
+}
+
+func TestDependencyValidateErrors(t *testing.T) {
+	p := testProcess(t)
+	cases := []struct {
+		name string
+		dep  Dependency
+		want string
+	}{
+		{
+			"reflexive",
+			Dependency{From: ActivityNode("a"), To: ActivityNode("a"), Dim: Data},
+			"reflexive",
+		},
+		{
+			"unknown activity",
+			Dependency{From: ActivityNode("a"), To: ActivityNode("nope"), Dim: Data},
+			"undeclared activity",
+		},
+		{
+			"service node outside service dimension",
+			Dependency{From: ActivityNode("a"), To: ServiceNode("Svc", "1"), Dim: Data},
+			"outside the service dimension",
+		},
+		{
+			"unknown service",
+			Dependency{From: ActivityNode("a"), To: ServiceNode("Nope", "1"), Dim: ServiceDim},
+			"undeclared service",
+		},
+		{
+			"unknown port",
+			Dependency{From: ActivityNode("a"), To: ServiceNode("Svc", "7"), Dim: ServiceDim},
+			"undeclared port",
+		},
+		{
+			"control from non-decision",
+			Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Control, Branch: "T"},
+			"non-decision",
+		},
+		{
+			"control branch outside domain",
+			Dependency{From: ActivityNode("c"), To: ActivityNode("d"), Dim: Control, Branch: "MAYBE"},
+			"not in domain",
+		},
+		{
+			"branch on data dependency",
+			Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data, Branch: "T"},
+			"outside the control dimension",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewDependencySet()
+			s.Add(tc.dep)
+			err := s.Validate(p)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDependencyValidateOK(t *testing.T) {
+	p := testProcess(t)
+	s := NewDependencySet()
+	s.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data, Label: "x"})
+	s.Add(Dependency{From: ActivityNode("c"), To: ActivityNode("d"), Dim: Control, Branch: "T"})
+	s.Add(Dependency{From: ActivityNode("c"), To: ActivityNode("b"), Dim: Control}) // NONE branch
+	s.Add(Dependency{From: ActivityNode("b"), To: ServiceNode("Svc", "1"), Dim: ServiceDim})
+	s.Add(Dependency{From: ServiceNode("Svc", "d"), To: ActivityNode("d"), Dim: ServiceDim})
+	s.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("d"), Dim: Cooperation, Label: "biz"})
+	if err := s.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByDimensionAndCounts(t *testing.T) {
+	s := NewDependencySet()
+	s.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data})
+	s.Add(Dependency{From: ActivityNode("b"), To: ActivityNode("c"), Dim: Data})
+	s.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("c"), Dim: Cooperation})
+	if got := len(s.ByDimension(Data)); got != 2 {
+		t.Errorf("data deps = %d, want 2", got)
+	}
+	counts := s.CountByDimension()
+	if counts[Data] != 2 || counts[Cooperation] != 1 || counts[Control] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestDependencySetNodesSorted(t *testing.T) {
+	s := NewDependencySet()
+	s.Add(Dependency{From: ActivityNode("z"), To: ActivityNode("a"), Dim: Data})
+	s.Add(Dependency{From: ActivityNode("m"), To: ServiceNode("S", "1"), Dim: ServiceDim})
+	nodes := s.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].String() > nodes[i].String() {
+			t.Errorf("nodes not sorted: %v", nodes)
+		}
+	}
+}
+
+func TestDependencySetString(t *testing.T) {
+	s := NewDependencySet()
+	s.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data})
+	s.Add(Dependency{From: ActivityNode("c"), To: ActivityNode("b"), Dim: Control, Branch: "T"})
+	out := s.String()
+	for _, want := range []string{"data {→d}: 1", "control {→c}: 1", "a →d b", "c →c[T] b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	a := NewDependencySet()
+	a.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data})
+	b := NewDependencySet()
+	b.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data}) // dup
+	b.Add(Dependency{From: ActivityNode("b"), To: ActivityNode("c"), Dim: Data})
+	a.AddAll(b)
+	if a.Len() != 2 {
+		t.Errorf("Len after AddAll = %d, want 2", a.Len())
+	}
+}

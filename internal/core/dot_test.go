@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/cond"
+)
+
+func TestDependencyDOT(t *testing.T) {
+	_ = testProcess(t)
+	deps := NewDependencySet()
+	deps.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("b"), Dim: Data, Label: "x"})
+	deps.Add(Dependency{From: ActivityNode("c"), To: ActivityNode("d"), Dim: Control, Branch: "T"})
+	deps.Add(Dependency{From: ActivityNode("c"), To: ActivityNode("b"), Dim: Control})
+	deps.Add(Dependency{From: ActivityNode("b"), To: ServiceNode("Svc", "1"), Dim: ServiceDim})
+	deps.Add(Dependency{From: ActivityNode("a"), To: ActivityNode("d"), Dim: Cooperation})
+	out := DependencyDOT("test", deps)
+	for _, want := range []string{
+		`digraph "test"`,
+		`"a" -> "b" [label="x", style="dashed"]`,
+		`"c" -> "d" [label="T", style="solid"]`,
+		`"c" -> "b" [label="NONE", style="solid"]`,
+		`"b" -> "Svc.1" [color="gray40"]`,
+		`"a" -> "d" [style="dotted"]`,
+		`"Svc.1" [shape=box`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConstraintDOT(t *testing.T) {
+	p := testProcess(t)
+	s := NewConstraintSet(p)
+	s.Before("a", "b", Data)
+	s.Add(Constraint{Rel: HappenBefore, From: PointOf("c", Finish), To: PointOf("d", Start),
+		Cond: cond.Lit("c", "T"), Origins: []Dimension{Control}})
+	s.Add(Constraint{Rel: HappenBefore, From: PointOf("a", Finish), To: PointOf("d", Start),
+		Cond: cond.True(), Origins: []Dimension{ServiceDim}})
+	s.Add(Constraint{Rel: HappenBefore, From: PointOf("b", Start), To: PointOf("d", Finish),
+		Cond: cond.True(), Origins: []Dimension{Cooperation}})
+	s.Add(Constraint{Rel: Exclusive, From: PointOf("b", Run), To: PointOf("d", Run), Cond: cond.True()})
+	out := ConstraintDOT("cs", s)
+	for _, want := range []string{
+		`"a" -> "b";`,
+		`"c" -> "d" [label="c=T"]`,
+		`"a" -> "d" [style="bold"]`, // service-derived
+		`label="S→F"`,               // state-level annotation
+		`"b" -> "d" [color="red", dir="both", label="excl"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	p := testProcess(t)
+	s := NewConstraintSet(p)
+	s.Before("b", "d", Data)
+	s.Before("a", "b", Data)
+	if ConstraintDOT("x", s) != ConstraintDOT("x", s) {
+		t.Error("ConstraintDOT not deterministic")
+	}
+}

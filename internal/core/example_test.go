@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dscweaver/internal/core"
+)
+
+// ExampleMinimize shows the paper's optimization on a three-activity
+// pipeline with one redundant cooperation rule.
+func ExampleMinimize() {
+	proc := core.NewProcess("pipeline")
+	for _, id := range []core.ActivityID{"extract", "transform", "load"} {
+		proc.MustAddActivity(&core.Activity{ID: id, Kind: core.KindOpaque})
+	}
+	deps := core.NewDependencySet()
+	deps.Add(core.Dependency{From: core.ActivityNode("extract"), To: core.ActivityNode("transform"), Dim: core.Data, Label: "rows"})
+	deps.Add(core.Dependency{From: core.ActivityNode("transform"), To: core.ActivityNode("load"), Dim: core.Data, Label: "clean"})
+	// A redundant business rule: extract before load (already implied).
+	deps.Add(core.Dependency{From: core.ActivityNode("extract"), To: core.ActivityNode("load"), Dim: core.Cooperation})
+
+	sc, err := core.Merge(proc, deps)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Minimize(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("constraints: %d → %d\n", sc.Len(), res.Minimal.Len())
+	for _, c := range res.Removed {
+		fmt.Printf("removed %s → %s (%v)\n", c.From.Node, c.To.Node, c.Origins)
+	}
+	// Output:
+	// constraints: 3 → 2
+	// removed extract → load ([cooperation])
+}
+
+// ExampleTransitiveClosure reproduces Definition 3's annotated closure
+// for the paper's a1→a2→[T]a3→a4 example.
+func ExampleTransitiveClosure() {
+	proc := core.NewProcess("def3")
+	proc.MustAddActivity(&core.Activity{ID: "a1", Kind: core.KindOpaque})
+	proc.MustAddActivity(&core.Activity{ID: "a2", Kind: core.KindDecision})
+	proc.MustAddActivity(&core.Activity{ID: "a3", Kind: core.KindOpaque})
+	proc.MustAddActivity(&core.Activity{ID: "a4", Kind: core.KindOpaque})
+	deps := core.NewDependencySet()
+	deps.Add(core.Dependency{From: core.ActivityNode("a1"), To: core.ActivityNode("a2"), Dim: core.Data})
+	deps.Add(core.Dependency{From: core.ActivityNode("a2"), To: core.ActivityNode("a3"), Dim: core.Control, Branch: "T"})
+	deps.Add(core.Dependency{From: core.ActivityNode("a3"), To: core.ActivityNode("a4"), Dim: core.Data})
+	sc, err := core.Merge(proc, deps)
+	if err != nil {
+		panic(err)
+	}
+	members, err := core.TransitiveClosure(sc, "a1")
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range members {
+		fmt.Printf("%s under %s\n", m.Node, m.Cond)
+	}
+	// Output:
+	// a2 under ⊤
+	// a3 under a2=T
+	// a4 under a2=T
+}
+
+// ExampleAdapter demonstrates §1's adaptation scenario: a rule that is
+// already implied adds no monitoring burden.
+func ExampleAdapter() {
+	proc := core.NewProcess("adapt")
+	for _, id := range []core.ActivityID{"a", "b", "c"} {
+		proc.MustAddActivity(&core.Activity{ID: id, Kind: core.KindOpaque})
+	}
+	deps := core.NewDependencySet()
+	deps.Add(core.Dependency{From: core.ActivityNode("a"), To: core.ActivityNode("b"), Dim: core.Data})
+	deps.Add(core.Dependency{From: core.ActivityNode("b"), To: core.ActivityNode("c"), Dim: core.Data})
+	adapter, err := core.NewAdapter(proc, deps)
+	if err != nil {
+		panic(err)
+	}
+	res, err := adapter.Add(core.Dependency{From: core.ActivityNode("a"), To: core.ActivityNode("c"), Dim: core.Cooperation})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("implied: %v, minimal size: %d\n", res.Implied, adapter.Minimal().Len())
+	// Output:
+	// implied: true, minimal size: 2
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/cond"
+)
+
+// controlEdge builds a conditional control constraint.
+func controlEdge(from, to ActivityID, branch string) Constraint {
+	c := cond.True()
+	if branch != "" {
+		c = cond.Lit(string(from), branch)
+	}
+	return Constraint{Rel: HappenBefore, From: PointOf(from, Finish), To: PointOf(to, Start),
+		Cond: c, Origins: []Dimension{Control}}
+}
+
+func TestDeriveGuardsNestedConjunction(t *testing.T) {
+	// outer →[T] inner →[F] leaf: guard(leaf) = outer=T ∧ inner=F.
+	p := NewProcess("nested")
+	p.MustAddActivity(&Activity{ID: "outer", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "inner", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "leaf", Kind: KindOpaque})
+	sc := NewConstraintSet(p)
+	sc.Add(controlEdge("outer", "inner", "T"))
+	sc.Add(controlEdge("inner", "leaf", "F"))
+	guards, err := DeriveGuards(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cond.And(cond.Lit("outer", "T"), cond.Lit("inner", "F"))
+	eq, err := cond.Equal(guards[ActivityNode("leaf")], want, p.Domains())
+	if err != nil || !eq {
+		t.Errorf("guard(leaf) = %v, want %v", guards[ActivityNode("leaf")], want)
+	}
+	if !guards[ActivityNode("outer")].IsTrue() {
+		t.Errorf("guard(outer) = %v, want ⊤", guards[ActivityNode("outer")])
+	}
+}
+
+func TestDeriveGuardsMultiParentDisjunction(t *testing.T) {
+	// Two decisions both routing to join on T: guard(join) =
+	// d1=T ∨ d2=T (unstructured merge).
+	p := NewProcess("merge")
+	p.MustAddActivity(&Activity{ID: "d1", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "d2", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "join", Kind: KindOpaque})
+	sc := NewConstraintSet(p)
+	sc.Add(controlEdge("d1", "join", "T"))
+	sc.Add(controlEdge("d2", "join", "T"))
+	guards, err := DeriveGuards(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cond.Or(cond.Lit("d1", "T"), cond.Lit("d2", "T"))
+	eq, err := cond.Equal(guards[ActivityNode("join")], want, p.Domains())
+	if err != nil || !eq {
+		t.Errorf("guard(join) = %v, want %v", guards[ActivityNode("join")], want)
+	}
+}
+
+func TestDeriveGuardsFullCoverageFolds(t *testing.T) {
+	// The same decision routes on both branches: the guard folds to ⊤.
+	p := NewProcess("full")
+	p.MustAddActivity(&Activity{ID: "d", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "x", Kind: KindOpaque})
+	sc := NewConstraintSet(p)
+	// Add twice with different branches — the pair folds via Or in
+	// the constraint set, so guard derivation sees one edge with
+	// condition T ∨ F.
+	sc.Add(controlEdge("d", "x", "T"))
+	sc.Add(controlEdge("d", "x", "F"))
+	guards, err := DeriveGuards(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guards[ActivityNode("x")].IsTrue() {
+		t.Errorf("guard(x) = %v, want ⊤ after full-domain fold", guards[ActivityNode("x")])
+	}
+}
+
+func TestDeriveGuardsIgnoresNonControl(t *testing.T) {
+	p := NewProcess("plain")
+	p.MustAddActivity(&Activity{ID: "d", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "x", Kind: KindOpaque})
+	sc := NewConstraintSet(p)
+	// A conditional ordering constraint with cooperation origin must
+	// not guard x.
+	sc.Add(Constraint{Rel: HappenBefore, From: PointOf("d", Finish), To: PointOf("x", Start),
+		Cond: cond.Lit("d", "T"), Origins: []Dimension{Cooperation}})
+	guards, err := DeriveGuards(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guards[ActivityNode("x")].IsTrue() {
+		t.Errorf("cooperation condition leaked into guard: %v", guards[ActivityNode("x")])
+	}
+}
+
+func TestDeriveGuardsCyclicControlRejected(t *testing.T) {
+	p := NewProcess("cycctl")
+	p.MustAddActivity(&Activity{ID: "d1", Kind: KindDecision})
+	p.MustAddActivity(&Activity{ID: "d2", Kind: KindDecision})
+	sc := NewConstraintSet(p)
+	sc.Add(controlEdge("d1", "d2", "T"))
+	sc.Add(controlEdge("d2", "d1", "T"))
+	_, err := DeriveGuards(sc)
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("err = %v, want cyclic rejection", err)
+	}
+}

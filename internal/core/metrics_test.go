@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+func TestMeasureChain(t *testing.T) {
+	p := linProcess(4)
+	s := NewConstraintSet(p)
+	s.Before("a0", "a1", Data)
+	s.Before("a1", "a2", Data)
+	s.Before("a2", "a3", Data)
+	m, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CriticalPath != 4 || m.Width != 1 || m.Constraints != 3 || m.Activities != 4 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMeasureFan(t *testing.T) {
+	p := linProcess(5) // a0 source, a1..a3 parallel, a4 sink
+	s := NewConstraintSet(p)
+	for _, mid := range []ActivityID{"a1", "a2", "a3"} {
+		s.Before("a0", mid, Data)
+		s.Before(mid, "a4", Data)
+	}
+	m, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CriticalPath != 3 {
+		t.Errorf("critical path = %d, want 3", m.CriticalPath)
+	}
+	if m.Width != 3 {
+		t.Errorf("width = %d, want 3", m.Width)
+	}
+}
+
+func TestMeasureMinimizationPreservesCriticalPath(t *testing.T) {
+	// Minimization removes redundant edges but never changes the
+	// critical path or the width of the reachability relation.
+	p := linProcess(4)
+	s := NewConstraintSet(p)
+	s.Before("a0", "a1", Data)
+	s.Before("a1", "a2", Data)
+	s.Before("a2", "a3", Data)
+	s.Before("a0", "a3", Cooperation)
+	s.Before("a0", "a2", Cooperation)
+	before, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Measure(res.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.CriticalPath != after.CriticalPath {
+		t.Errorf("critical path changed: %d → %d", before.CriticalPath, after.CriticalPath)
+	}
+	if after.Constraints != 3 {
+		t.Errorf("constraints after = %d, want 3", after.Constraints)
+	}
+}
+
+func TestMeasureEmptySet(t *testing.T) {
+	p := linProcess(3)
+	s := NewConstraintSet(p)
+	m, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CriticalPath != 1 || m.Width != 3 {
+		t.Errorf("metrics = %+v, want path 1, width 3", m)
+	}
+}

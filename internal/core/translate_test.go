@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/cond"
+)
+
+// svcProcess builds a process with one async two-port service and the
+// internal activities to drive it.
+func svcProcess() *Process {
+	p := NewProcess("svc")
+	p.MustAddService(&Service{Name: "W", Ports: []string{"1", "2"}, Async: true})
+	p.MustAddActivity(&Activity{ID: "inv1", Kind: KindInvoke, Service: "W", Port: "1"})
+	p.MustAddActivity(&Activity{ID: "inv2", Kind: KindInvoke, Service: "W", Port: "2"})
+	p.MustAddActivity(&Activity{ID: "rec", Kind: KindReceive, Service: "W", Port: DummyPort})
+	p.MustAddActivity(&Activity{ID: "dec", Kind: KindDecision})
+	return p
+}
+
+func svcCon(from, to Node, c cond.Expr) Constraint {
+	return Constraint{Rel: HappenBefore, From: Point{Node: from, State: Finish},
+		To: Point{Node: to, State: Start}, Cond: c, Origins: []Dimension{ServiceDim}}
+}
+
+func TestTranslatePathProjection(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	// inv1 → W.1 → W.d → rec  should project to inv1 → rec.
+	s.Add(svcCon(ActivityNode("inv1"), ServiceNode("W", "1"), cond.True()))
+	s.Add(svcCon(ServiceNode("W", "1"), ServiceNode("W", DummyPort), cond.True()))
+	s.Add(svcCon(ServiceNode("W", DummyPort), ActivityNode("rec"), cond.True()))
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 1 {
+		t.Fatalf("ASC = %v, want 1 constraint", asc.String())
+	}
+	c := asc.Constraints()[0]
+	if c.From.Node.Activity != "inv1" || c.To.Node.Activity != "rec" {
+		t.Errorf("projected constraint = %v", c)
+	}
+	if !c.HasOrigin(ServiceDim) {
+		t.Errorf("origins = %v", c.Origins)
+	}
+}
+
+func TestTranslateDropsDeadEndExternals(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	// inv1 → W.1 with no internal offspring: everything external is
+	// dropped (the Production case).
+	s.Add(svcCon(ActivityNode("inv1"), ServiceNode("W", "1"), cond.True()))
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 0 {
+		t.Errorf("ASC = %v, want empty", asc.String())
+	}
+}
+
+func TestTranslatePortOrderAnchoring(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	s.Add(svcCon(ActivityNode("inv1"), ServiceNode("W", "1"), cond.True()))
+	s.Add(svcCon(ActivityNode("inv2"), ServiceNode("W", "2"), cond.True()))
+	s.Add(svcCon(ServiceNode("W", "1"), ServiceNode("W", "2"), cond.True()))
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 1 {
+		t.Fatalf("ASC:\n%s", asc.String())
+	}
+	c := asc.Constraints()[0]
+	if c.From.Node.Activity != "inv1" || c.To.Node.Activity != "inv2" {
+		t.Errorf("anchored constraint = %v, want inv1 → inv2", c)
+	}
+}
+
+func TestTranslatePortOrderSkipsSelfAnchor(t *testing.T) {
+	// One activity invoking both ports cannot be ordered against
+	// itself; the port-order rule must skip it rather than emit a
+	// reflexive constraint.
+	p := NewProcess("self")
+	p.MustAddService(&Service{Name: "W", Ports: []string{"1", "2"}})
+	p.MustAddActivity(&Activity{ID: "inv", Kind: KindInvoke, Service: "W", Port: "1"})
+	s := NewConstraintSet(p)
+	s.Add(svcCon(ActivityNode("inv"), ServiceNode("W", "1"), cond.True()))
+	s.Add(svcCon(ActivityNode("inv"), ServiceNode("W", "2"), cond.True()))
+	s.Add(svcCon(ServiceNode("W", "1"), ServiceNode("W", "2"), cond.True()))
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 0 {
+		t.Errorf("ASC:\n%s", asc.String())
+	}
+}
+
+func TestTranslateAccumulatesConditions(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	// A conditional invocation: the projected edge inherits the
+	// condition.
+	s.Add(Constraint{Rel: HappenBefore, From: PointOf("inv1", Finish),
+		To:   Point{Node: ServiceNode("W", "1"), State: Start},
+		Cond: cond.Lit("dec", "T"), Origins: []Dimension{ServiceDim}})
+	s.Add(svcCon(ServiceNode("W", "1"), ServiceNode("W", DummyPort), cond.True()))
+	s.Add(svcCon(ServiceNode("W", DummyPort), ActivityNode("rec"), cond.True()))
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 1 {
+		t.Fatalf("ASC:\n%s", asc.String())
+	}
+	c := asc.Constraints()[0]
+	eq, err := cond.Equal(c.Cond, cond.Lit("dec", "T"), p.Domains())
+	if err != nil || !eq {
+		t.Errorf("projected cond = %v, want dec=T", c.Cond)
+	}
+}
+
+func TestTranslateKeepsInternalConstraintsVerbatim(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	s.Add(Constraint{Rel: HappenBefore, From: PointOf("inv1", Start), To: PointOf("inv2", Finish),
+		Cond: cond.True(), Origins: []Dimension{Cooperation}})
+	s.Add(Constraint{Rel: Exclusive, From: PointOf("inv1", Run), To: PointOf("rec", Run),
+		Cond: cond.True(), Origins: []Dimension{Cooperation}})
+	asc, err := TranslateServices(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 2 {
+		t.Fatalf("ASC:\n%s", asc.String())
+	}
+	if asc.Constraints()[0].From.State != Start {
+		t.Error("state-level constraint mangled")
+	}
+	if asc.Constraints()[1].Rel != Exclusive {
+		t.Error("exclusive constraint dropped")
+	}
+}
+
+func TestTranslateRejectsExternalHappenTogether(t *testing.T) {
+	p := svcProcess()
+	s := NewConstraintSet(p)
+	s.Add(Constraint{Rel: HappenTogether, From: PointOf("inv1", Finish),
+		To: Point{Node: ServiceNode("W", "1"), State: Start}, Cond: cond.True()})
+	if _, err := TranslateServices(s); err == nil || !strings.Contains(err.Error(), "desugar") {
+		t.Errorf("err = %v, want desugar error", err)
+	}
+}
+
+func TestMergeRejectsInvalidDeps(t *testing.T) {
+	p := svcProcess()
+	deps := NewDependencySet()
+	deps.Add(Dependency{From: ActivityNode("inv1"), To: ActivityNode("ghost"), Dim: Data})
+	if _, err := Merge(p, deps); err == nil {
+		t.Error("Merge accepted invalid dependency set")
+	}
+}
+
+func TestMergeControlNoneBranchUnconditional(t *testing.T) {
+	p := svcProcess()
+	deps := NewDependencySet()
+	deps.Add(Dependency{From: ActivityNode("dec"), To: ActivityNode("rec"), Dim: Control})
+	sc, err := Merge(p, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Constraints()[0].Cond.IsTrue() {
+		t.Errorf("NONE-branch control dependency should merge unconditionally, got %v", sc.Constraints()[0].Cond)
+	}
+}
+
+func TestMergeSetsCombines(t *testing.T) {
+	p := svcProcess()
+	a := NewDependencySet()
+	a.Add(Dependency{From: ActivityNode("inv1"), To: ActivityNode("inv2"), Dim: Data, Label: "x"})
+	b := NewDependencySet()
+	b.Add(Dependency{From: ActivityNode("inv2"), To: ActivityNode("rec"), Dim: Cooperation})
+	b.Add(Dependency{From: ActivityNode("inv1"), To: ActivityNode("inv2"), Dim: Data, Label: "x"}) // dup
+	sc, err := MergeSets(p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 2 {
+		t.Errorf("merged Len = %d, want 2", sc.Len())
+	}
+}

@@ -1,0 +1,176 @@
+// Package decentral analyzes decentralized execution of an optimized
+// constraint set — the §5 connection to Nanda et al. [12], which
+// "uses PDG to analyze dataflow, control flow and constructs in a
+// process to decentralize execution control with the goal of
+// minimizing communication overhead."
+//
+// Activities are partitioned across hosts: interaction activities are
+// pinned to the host fronting their service, and the remaining
+// activities are placed greedily to minimize cross-host constraint
+// edges. Every HappenBefore constraint whose endpoints land on
+// different hosts costs one synchronization message at run time, so
+// the message count of the minimal set versus the unoptimized set
+// quantifies a second benefit of minimization: fewer cross-host
+// synchronization messages, not just fewer monitored constraints.
+package decentral
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dscweaver/internal/core"
+)
+
+// CoordinatorHost is the partition that runs client-facing and local
+// activities.
+const CoordinatorHost = "coordinator"
+
+// Partition maps every activity to a host.
+type Partition map[core.ActivityID]string
+
+// Plan is the result of a decentralization analysis.
+type Plan struct {
+	Partition Partition
+	// Hosts lists the partition names, sorted.
+	Hosts []string
+	// LocalEdges counts constraints whose endpoints share a host.
+	LocalEdges int
+	// CrossEdges counts constraints that need a cross-host message.
+	CrossEdges int
+	// Messages breaks the cross edges down by (from-host, to-host).
+	Messages map[[2]string]int
+}
+
+// Pin returns the fixed placement of interaction activities: every
+// invoke or service-facing receive runs on the host fronting its
+// service, everything else starts unpinned.
+func Pin(proc *core.Process) Partition {
+	p := Partition{}
+	for _, a := range proc.Activities() {
+		if (a.Kind == core.KindInvoke || a.Kind == core.KindReceive) && a.Service != "" {
+			p[a.ID] = "host:" + a.Service
+		}
+	}
+	return p
+}
+
+// Place partitions the process for the given constraint set: pinned
+// activities keep their host; each remaining activity is assigned, in
+// topological order, to the host with which it shares the most
+// constraint edges (ties break toward the coordinator, then
+// lexicographically). Returns the completed plan.
+func Place(sc *core.ConstraintSet, pinned Partition) (*Plan, error) {
+	if sc.HasServiceNodes() {
+		return nil, fmt.Errorf("decentral: constraint set mentions external nodes; translate first")
+	}
+	proc := sc.Proc
+	part := Partition{}
+	for id, h := range pinned {
+		if _, ok := proc.Activity(id); !ok {
+			return nil, fmt.Errorf("decentral: pinned activity %s not in process", id)
+		}
+		part[id] = h
+	}
+
+	// Adjacency over HappenBefore constraints.
+	neighbors := map[core.ActivityID][]core.ActivityID{}
+	for _, c := range sc.HappenBefores() {
+		u, v := c.From.Node.Activity, c.To.Node.Activity
+		neighbors[u] = append(neighbors[u], v)
+		neighbors[v] = append(neighbors[v], u)
+	}
+
+	for _, a := range proc.Activities() {
+		if _, done := part[a.ID]; done {
+			continue
+		}
+		votes := map[string]int{}
+		for _, n := range neighbors[a.ID] {
+			if h, ok := part[n]; ok {
+				votes[h]++
+			}
+		}
+		best := CoordinatorHost
+		bestVotes := votes[CoordinatorHost]
+		hosts := make([]string, 0, len(votes))
+		for h := range votes {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			if votes[h] > bestVotes {
+				best, bestVotes = h, votes[h]
+			}
+		}
+		part[a.ID] = best
+	}
+
+	plan := &Plan{Partition: part, Messages: map[[2]string]int{}}
+	hostSet := map[string]bool{}
+	for _, h := range part {
+		hostSet[h] = true
+	}
+	for h := range hostSet {
+		plan.Hosts = append(plan.Hosts, h)
+	}
+	sort.Strings(plan.Hosts)
+
+	for _, c := range sc.HappenBefores() {
+		from, to := part[c.From.Node.Activity], part[c.To.Node.Activity]
+		if from == to {
+			plan.LocalEdges++
+			continue
+		}
+		plan.CrossEdges++
+		plan.Messages[[2]string{from, to}]++
+	}
+	return plan, nil
+}
+
+// Compare runs Place on both an unoptimized and a minimal constraint
+// set under the same pinning and reports the message savings.
+type Comparison struct {
+	Unoptimized *Plan
+	Minimal     *Plan
+}
+
+// MessageSavings returns cross-host messages eliminated by
+// minimization.
+func (c Comparison) MessageSavings() int {
+	return c.Unoptimized.CrossEdges - c.Minimal.CrossEdges
+}
+
+// Compare partitions both sets with the same pinned placement.
+func Compare(unopt, minimal *core.ConstraintSet, pinned Partition) (*Comparison, error) {
+	u, err := Place(unopt, pinned)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Place(minimal, pinned)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Unoptimized: u, Minimal: m}, nil
+}
+
+// String renders the plan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hosts: %s\n", strings.Join(p.Hosts, ", "))
+	fmt.Fprintf(&b, "local edges: %d, cross-host messages: %d\n", p.LocalEdges, p.CrossEdges)
+	var keys [][2]string
+	for k := range p.Messages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s → %s: %d\n", k[0], k[1], p.Messages[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package decentral
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+)
+
+func TestPinPlacesInteractions(t *testing.T) {
+	pinned := Pin(purchasing.Process())
+	want := map[core.ActivityID]string{
+		purchasing.InvCreditPo:     "host:Credit",
+		purchasing.RecCreditAu:     "host:Credit",
+		purchasing.InvPurchaseSi:   "host:Purchase",
+		purchasing.RecShipSs:       "host:Ship",
+		purchasing.InvProductionPo: "host:Production",
+	}
+	for id, host := range want {
+		if pinned[id] != host {
+			t.Errorf("pin[%s] = %q, want %q", id, pinned[id], host)
+		}
+	}
+	// Client-facing and local activities stay unpinned.
+	for _, id := range []core.ActivityID{purchasing.RecClientPo, purchasing.IfAu, purchasing.SetOi, purchasing.ReplyClientOi} {
+		if _, ok := pinned[id]; ok {
+			t.Errorf("%s should be unpinned", id)
+		}
+	}
+}
+
+func TestPlacePurchasingMinimal(t *testing.T) {
+	_, _, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Place(res.Minimal, Pin(res.Minimal.Proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Partition) != 14 {
+		t.Errorf("partition covers %d activities, want 14", len(plan.Partition))
+	}
+	if plan.LocalEdges+plan.CrossEdges != 17 {
+		t.Errorf("edges = %d local + %d cross, want 17 total", plan.LocalEdges, plan.CrossEdges)
+	}
+	if plan.CrossEdges == 0 {
+		t.Error("a multi-service process must need some cross-host messages")
+	}
+	// Every host mentioned in Messages is in Hosts.
+	hostSet := map[string]bool{}
+	for _, h := range plan.Hosts {
+		hostSet[h] = true
+	}
+	for k := range plan.Messages {
+		if !hostSet[k[0]] || !hostSet[k[1]] {
+			t.Errorf("message key %v references unknown host", k)
+		}
+	}
+	if !strings.Contains(plan.String(), "cross-host messages") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestMinimizationSavesMessages(t *testing.T) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(asc, res.Minimal, Pin(asc.Proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MessageSavings() <= 0 {
+		t.Errorf("minimization saved %d messages (unopt %d, minimal %d), want > 0",
+			cmp.MessageSavings(), cmp.Unoptimized.CrossEdges, cmp.Minimal.CrossEdges)
+	}
+	t.Logf("cross-host messages: unoptimized=%d minimal=%d saved=%d",
+		cmp.Unoptimized.CrossEdges, cmp.Minimal.CrossEdges, cmp.MessageSavings())
+}
+
+func TestPlaceRejectsUntranslated(t *testing.T) {
+	proc := purchasing.Process()
+	merged, err := core.Merge(proc, purchasing.Dependencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(merged, nil); err == nil {
+		t.Error("Place accepted external nodes")
+	}
+}
+
+func TestPlaceRejectsUnknownPin(t *testing.T) {
+	_, _, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(res.Minimal, Partition{"ghost": "host:X"}); err == nil {
+		t.Error("Place accepted pin for unknown activity")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	_, _, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Place(res.Minimal, Pin(res.Minimal.Proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(res.Minimal, Pin(res.Minimal.Proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Place not deterministic")
+	}
+}
+
+func TestGreedyFollowsNeighbors(t *testing.T) {
+	// One pinned activity and one unpinned neighbor: the neighbor
+	// should join its host rather than the coordinator.
+	p := core.NewProcess("greedy")
+	p.MustAddService(&core.Service{Name: "S", Ports: []string{"1"}})
+	p.MustAddActivity(&core.Activity{ID: "inv", Kind: core.KindInvoke, Service: "S", Port: "1"})
+	p.MustAddActivity(&core.Activity{ID: "prep", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "loner", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Before("prep", "inv", core.Data)
+	plan, err := Place(sc, Pin(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Partition["prep"] != "host:S" {
+		t.Errorf("prep placed on %q, want host:S", plan.Partition["prep"])
+	}
+	if plan.Partition["loner"] != CoordinatorHost {
+		t.Errorf("loner placed on %q, want coordinator", plan.Partition["loner"])
+	}
+	if plan.CrossEdges != 0 {
+		t.Errorf("cross edges = %d, want 0", plan.CrossEdges)
+	}
+}

@@ -1,0 +1,84 @@
+package dscl
+
+// File is a parsed DSCL document: exactly one process declaration.
+type File struct {
+	Process *ProcessDecl
+}
+
+// ProcessDecl is the top-level process block.
+type ProcessDecl struct {
+	Name         string
+	Services     []*ServiceDecl
+	Activities   []*ActivityDecl
+	Dependencies []*DependencyDecl
+	Constraints  []*ConstraintDecl
+	Line         int
+}
+
+// ServiceDecl declares a remote service.
+type ServiceDecl struct {
+	Name       string
+	Ports      []string
+	Async      bool
+	Sequential bool
+	Line       int
+}
+
+// ActivityDecl declares one activity.
+type ActivityDecl struct {
+	Name     string
+	Kind     string // receive | invoke | reply | opaque | decision
+	Service  string // for invoke/receive with a service endpoint
+	Port     string
+	Reads    []string
+	Writes   []string
+	Branches []string // decision only
+	Line     int
+}
+
+// NodeRef references an activity ("invPurchase_po") or a service port
+// ("Purchase.1").
+type NodeRef struct {
+	Name string
+	Port string // nonempty for service ports
+	Line int
+}
+
+// DependencyDecl is one entry of a dependencies{} block.
+type DependencyDecl struct {
+	Dim    string // data | control | service | cooperation
+	From   NodeRef
+	To     NodeRef
+	Branch string // control: the ->[T] annotation
+	Var    string // data: var(x)
+	Why    string // cooperation: why("…")
+	Line   int
+}
+
+// PointRef references an activity state: explicit "S(a)"/"R(a)"/"F(a)"
+// or a bare activity name whose state depends on position (F on the
+// left of an arrow, S on the right — the paper's default F_i → S_j
+// reading of activity-level dependencies).
+type PointRef struct {
+	State string // "S", "R", "F", or "" for positional default
+	Node  NodeRef
+	Line  int
+}
+
+// CondLiteral is one decision=value pair of a compound condition.
+type CondLiteral struct {
+	Decision string
+	Value    string
+}
+
+// ConstraintDecl is one entry of a constraints{} block.
+type ConstraintDecl struct {
+	Rel    string // "->" | "<->" | "><"
+	From   PointRef
+	To     PointRef
+	Branch string // ->[T] — shorthand: branch of the From decision
+	// Literals carries a compound condition ->[x=T, y=F]; mutually
+	// exclusive with Branch.
+	Literals []CondLiteral
+	Line     int
+}

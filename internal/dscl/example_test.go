@@ -1,0 +1,40 @@
+package dscl_test
+
+import (
+	"fmt"
+
+	"dscweaver/internal/dscl"
+)
+
+// ExampleLoad parses a DSCL document and runs the weaver pipeline.
+func ExampleLoad() {
+	doc, err := dscl.Load(`
+process Handover {
+    activity prepare opaque writes(pkg)
+    activity check decision reads(pkg) branches(T, F)
+    activity ship opaque reads(pkg)
+    activity refuse opaque
+
+    dependencies {
+        data prepare -> check var(pkg)
+        control check ->[T] ship
+        control check ->[F] refuse
+        cooperation prepare -> ship why("packed before shipping")
+    }
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	asc, res, err := doc.Weave()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged %d constraints, minimal %d\n", asc.Len(), res.Minimal.Len())
+	fmt.Println(dscl.PrintConstraints(res.Minimal))
+	// Output:
+	// merged 4 constraints, minimal 3
+	// check ->[F] refuse
+	// check ->[T] ship
+	// prepare -> check
+}

@@ -1,0 +1,38 @@
+package dscl
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzLoad asserts the DSCL front end never panics and that any
+// successfully loaded document survives a print/parse round trip.
+func FuzzLoad(f *testing.F) {
+	f.Add(tinyDoc)
+	if src, err := os.ReadFile("testdata/purchasing.dscl"); err == nil {
+		f.Add(string(src))
+	}
+	f.Add(`process P { }`)
+	f.Add(`process P { activity a opaque }`)
+	f.Add(`process P { service S { ports 1, 2; async } activity a invoke S.1 }`)
+	f.Add(`process P { dependencies { } constraints { } }`)
+	f.Add("process P {\n activity d decision branches(X, Y)\n activity a opaque\n constraints { d ->[X] a } }")
+	f.Add(`process "unterminated`)
+	f.Add(`process P { /* unterminated`)
+	f.Add(`process P { activity a opaque; activity a opaque }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Load(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		printed := PrintDocument(doc)
+		doc2, err := Load(printed)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nprinted:\n%s", err, printed)
+		}
+		if doc2.Deps.Len() != doc.Deps.Len() {
+			t.Fatalf("round trip changed dependency count: %d vs %d", doc2.Deps.Len(), doc.Deps.Len())
+		}
+	})
+}

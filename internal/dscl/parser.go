@@ -1,0 +1,451 @@
+package dscl
+
+import (
+	"fmt"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a DSCL document.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	p.skipSeps()
+	proc, err := p.parseProcess()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSeps()
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after process declaration", p.peek().kind)
+	}
+	return &File{Process: proc}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected %q, found %q", kw, t.text)}
+	}
+	return nil
+}
+
+// skipSeps consumes any run of statement separators.
+func (p *parser) skipSeps() {
+	for p.peek().kind == tokSemi {
+		p.advance()
+	}
+}
+
+func (p *parser) parseProcess() (*ProcessDecl, error) {
+	line := p.peek().line
+	if err := p.expectKeyword("process"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	proc := &ProcessDecl{Name: name.text, Line: line}
+	for {
+		p.skipSeps()
+		if p.peek().kind == tokRBrace {
+			p.advance()
+			return proc, nil
+		}
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected declaration, found %s %q", t.kind, t.text)
+		}
+		switch t.text {
+		case "service":
+			d, err := p.parseService()
+			if err != nil {
+				return nil, err
+			}
+			proc.Services = append(proc.Services, d)
+		case "activity":
+			d, err := p.parseActivity()
+			if err != nil {
+				return nil, err
+			}
+			proc.Activities = append(proc.Activities, d)
+		case "dependencies":
+			ds, err := p.parseDependencies()
+			if err != nil {
+				return nil, err
+			}
+			proc.Dependencies = append(proc.Dependencies, ds...)
+		case "constraints":
+			cs, err := p.parseConstraints()
+			if err != nil {
+				return nil, err
+			}
+			proc.Constraints = append(proc.Constraints, cs...)
+		default:
+			return nil, p.errf("unknown declaration %q (want service, activity, dependencies or constraints)", t.text)
+		}
+	}
+}
+
+func (p *parser) parseService() (*ServiceDecl, error) {
+	line := p.peek().line
+	p.advance() // "service"
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	d := &ServiceDecl{Name: name.text, Line: line}
+	for {
+		p.skipSeps()
+		if p.peek().kind == tokRBrace {
+			p.advance()
+			return d, nil
+		}
+		prop, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch prop.text {
+		case "ports":
+			for {
+				port, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				d.Ports = append(d.Ports, port.text)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case "async":
+			d.Async = true
+		case "sequential":
+			d.Sequential = true
+		default:
+			return nil, &Error{Line: prop.line, Col: prop.col,
+				Msg: fmt.Sprintf("unknown service property %q (want ports, async or sequential)", prop.text)}
+		}
+	}
+}
+
+func (p *parser) parseActivity() (*ActivityDecl, error) {
+	line := p.peek().line
+	p.advance() // "activity"
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &ActivityDecl{Name: name.text, Kind: kind.text, Line: line}
+	switch kind.text {
+	case "receive", "invoke", "reply", "opaque", "decision":
+	default:
+		return nil, &Error{Line: kind.line, Col: kind.col,
+			Msg: fmt.Sprintf("unknown activity kind %q", kind.text)}
+	}
+	// Optional service endpoint: Ident '.' Ident — only meaningful for
+	// invoke/receive; the builder validates semantics.
+	if (kind.text == "invoke" || kind.text == "receive") && p.peek().kind == tokIdent &&
+		p.peekAt(1).kind == tokDot {
+		svc := p.advance()
+		p.advance() // '.'
+		port, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Service, d.Port = svc.text, port.text
+	}
+	// Optional reads(...)/writes(...)/branches(...) clauses.
+	for p.peek().kind == tokIdent {
+		clause := p.peek().text
+		if clause != "reads" && clause != "writes" && clause != "branches" {
+			break
+		}
+		p.advance()
+		items, err := p.parseParenList()
+		if err != nil {
+			return nil, err
+		}
+		switch clause {
+		case "reads":
+			d.Reads = append(d.Reads, items...)
+		case "writes":
+			d.Writes = append(d.Writes, items...)
+		case "branches":
+			d.Branches = append(d.Branches, items...)
+		}
+	}
+	if p.peek().kind != tokSemi && p.peek().kind != tokRBrace && p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s %q after activity declaration", p.peek().kind, p.peek().text)
+	}
+	return d, nil
+}
+
+func (p *parser) peekAt(off int) token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *parser) parseParenList() ([]string, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var items []string
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, t.text)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *parser) parseNodeRef() (NodeRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	ref := NodeRef{Name: t.text, Line: t.line}
+	if p.peek().kind == tokDot {
+		p.advance()
+		port, err := p.expect(tokIdent)
+		if err != nil {
+			return NodeRef{}, err
+		}
+		ref.Port = port.text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseDependencies() ([]*DependencyDecl, error) {
+	p.advance() // "dependencies"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []*DependencyDecl
+	for {
+		p.skipSeps()
+		if p.peek().kind == tokRBrace {
+			p.advance()
+			return out, nil
+		}
+		dim, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch dim.text {
+		case "data", "control", "service", "cooperation":
+		default:
+			return nil, &Error{Line: dim.line, Col: dim.col,
+				Msg: fmt.Sprintf("unknown dependency dimension %q", dim.text)}
+		}
+		d := &DependencyDecl{Dim: dim.text, Line: dim.line}
+		if d.From, err = p.parseNodeRef(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokArrow); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokLBrack {
+			p.advance()
+			br, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			d.Branch = br.text
+			if _, err := p.expect(tokRBrack); err != nil {
+				return nil, err
+			}
+		}
+		if d.To, err = p.parseNodeRef(); err != nil {
+			return nil, err
+		}
+		// Optional metadata clauses.
+		for p.peek().kind == tokIdent {
+			switch p.peek().text {
+			case "var":
+				p.advance()
+				items, err := p.parseParenList()
+				if err != nil {
+					return nil, err
+				}
+				if len(items) != 1 {
+					return nil, p.errf("var(...) takes exactly one variable")
+				}
+				d.Var = items[0]
+			case "why":
+				p.advance()
+				if _, err := p.expect(tokLParen); err != nil {
+					return nil, err
+				}
+				s, err := p.expect(tokString)
+				if err != nil {
+					return nil, err
+				}
+				d.Why = s.text
+				if _, err := p.expect(tokRParen); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, p.errf("unknown dependency clause %q", p.peek().text)
+			}
+		}
+		out = append(out, d)
+	}
+}
+
+func (p *parser) parsePointRef() (PointRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return PointRef{}, err
+	}
+	// Explicit state: S(x), R(x), F(x).
+	if (t.text == "S" || t.text == "R" || t.text == "F") && p.peek().kind == tokLParen {
+		p.advance()
+		node, err := p.parseNodeRef()
+		if err != nil {
+			return PointRef{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return PointRef{}, err
+		}
+		return PointRef{State: t.text, Node: node, Line: t.line}, nil
+	}
+	ref := NodeRef{Name: t.text, Line: t.line}
+	if p.peek().kind == tokDot {
+		p.advance()
+		port, err := p.expect(tokIdent)
+		if err != nil {
+			return PointRef{}, err
+		}
+		ref.Port = port.text
+	}
+	return PointRef{Node: ref, Line: t.line}, nil
+}
+
+func (p *parser) parseConstraints() ([]*ConstraintDecl, error) {
+	p.advance() // "constraints"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []*ConstraintDecl
+	for {
+		p.skipSeps()
+		if p.peek().kind == tokRBrace {
+			p.advance()
+			return out, nil
+		}
+		from, err := p.parsePointRef()
+		if err != nil {
+			return nil, err
+		}
+		c := &ConstraintDecl{From: from, Line: from.Line}
+		switch p.peek().kind {
+		case tokArrow:
+			p.advance()
+			c.Rel = "->"
+			if p.peek().kind == tokLBrack {
+				p.advance()
+				first, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if p.peek().kind == tokEq {
+					// Compound condition: decision=value pairs.
+					p.advance()
+					val, err := p.expect(tokIdent)
+					if err != nil {
+						return nil, err
+					}
+					c.Literals = append(c.Literals, CondLiteral{Decision: first.text, Value: val.text})
+					for p.peek().kind == tokComma {
+						p.advance()
+						dec, err := p.expect(tokIdent)
+						if err != nil {
+							return nil, err
+						}
+						if _, err := p.expect(tokEq); err != nil {
+							return nil, err
+						}
+						val, err := p.expect(tokIdent)
+						if err != nil {
+							return nil, err
+						}
+						c.Literals = append(c.Literals, CondLiteral{Decision: dec.text, Value: val.text})
+					}
+				} else {
+					c.Branch = first.text
+				}
+				if _, err := p.expect(tokRBrack); err != nil {
+					return nil, err
+				}
+			}
+		case tokBiArrow:
+			p.advance()
+			c.Rel = "<->"
+		case tokExcl:
+			p.advance()
+			c.Rel = "><"
+		default:
+			return nil, p.errf("expected '->', '<->' or '><', found %s %q", p.peek().kind, p.peek().text)
+		}
+		if c.To, err = p.parsePointRef(); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}

@@ -1,0 +1,166 @@
+package dscl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+)
+
+// PrintDocument renders a Document back to canonical DSCL source.
+// Parse(PrintDocument(d)) builds a document equivalent to d; the round
+// trip is covered by tests.
+func PrintDocument(d *Document) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %s {\n", d.Proc.Name)
+
+	for _, s := range d.Proc.Services() {
+		fmt.Fprintf(&b, "    service %s { ports %s", s.Name, strings.Join(s.Ports, ", "))
+		if s.Async {
+			b.WriteString("; async")
+		}
+		if s.SequentialPorts {
+			b.WriteString("; sequential")
+		}
+		b.WriteString(" }\n")
+	}
+	if len(d.Proc.Services()) > 0 {
+		b.WriteString("\n")
+	}
+
+	for _, a := range d.Proc.Activities() {
+		fmt.Fprintf(&b, "    activity %s %s", a.ID, kindKeyword(a.Kind))
+		if a.Service != "" {
+			fmt.Fprintf(&b, " %s.%s", a.Service, a.Port)
+		}
+		if len(a.Reads) > 0 {
+			fmt.Fprintf(&b, " reads(%s)", strings.Join(a.Reads, ", "))
+		}
+		if len(a.Writes) > 0 {
+			fmt.Fprintf(&b, " writes(%s)", strings.Join(a.Writes, ", "))
+		}
+		if a.Kind == core.KindDecision && len(a.Branches) > 0 {
+			fmt.Fprintf(&b, " branches(%s)", strings.Join(a.Branches, ", "))
+		}
+		b.WriteString("\n")
+	}
+
+	if d.Deps.Len() > 0 {
+		b.WriteString("\n    dependencies {\n")
+		for _, dim := range core.Dimensions {
+			for _, dep := range d.Deps.ByDimension(dim) {
+				fmt.Fprintf(&b, "        %s %s ->", dimKeyword(dim), nodeRef(dep.From))
+				if dep.Branch != "" {
+					fmt.Fprintf(&b, "[%s]", dep.Branch)
+				}
+				fmt.Fprintf(&b, " %s", nodeRef(dep.To))
+				switch {
+				case dim == core.Data && dep.Label != "":
+					fmt.Fprintf(&b, " var(%s)", dep.Label)
+				case dim == core.Cooperation && dep.Label != "":
+					fmt.Fprintf(&b, " why(%q)", dep.Label)
+				}
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("    }\n")
+	}
+
+	if extra := d.Extra.Constraints(); len(extra) > 0 {
+		b.WriteString("\n    constraints {\n")
+		for _, c := range extra {
+			fmt.Fprintf(&b, "        %s\n", FormatConstraint(c))
+		}
+		b.WriteString("    }\n")
+	}
+
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PrintConstraints renders a constraint set as the body of a
+// constraints{} block, one canonical line per constraint, sorted.
+// Useful for reporting optimizer output (Figures 7–9) in DSCL syntax.
+func PrintConstraints(sc *core.ConstraintSet) string {
+	lines := make([]string, 0, sc.Len())
+	for _, c := range sc.Constraints() {
+		lines = append(lines, FormatConstraint(c))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// FormatConstraint renders one constraint in concrete DSCL syntax.
+// Activity-level F→S constraints use the bare shorthand; anything else
+// spells the states out.
+func FormatConstraint(c core.Constraint) string {
+	switch c.Rel {
+	case core.HappenBefore:
+		arrow := "->"
+		if !c.Cond.IsTrue() {
+			arrow = "->" + condSuffix(c.Cond)
+		}
+		if c.From.State == core.Finish && c.To.State == core.Start {
+			return fmt.Sprintf("%s %s %s", nodeRef(c.From.Node), arrow, nodeRef(c.To.Node))
+		}
+		return fmt.Sprintf("%s(%s) %s %s(%s)", c.From.State, nodeRef(c.From.Node), arrow, c.To.State, nodeRef(c.To.Node))
+	case core.HappenTogether:
+		return fmt.Sprintf("%s <-> %s", nodeRef(c.From.Node), nodeRef(c.To.Node))
+	case core.Exclusive:
+		return fmt.Sprintf("%s >< %s", nodeRef(c.From.Node), nodeRef(c.To.Node))
+	default:
+		return c.String()
+	}
+}
+
+// condSuffix renders single-literal conditions as the [branch]
+// annotation and single-term conjunctions as [x=T, y=F] (both forms
+// Parse re-reads); disjunctions — possible after merging — fall back
+// to the bracketed expression form, which is printed for reporting
+// only.
+func condSuffix(e cond.Expr) string {
+	ts := e.Terms()
+	if len(ts) == 1 {
+		if len(ts[0]) == 1 {
+			return "[" + ts[0][0].Value + "]"
+		}
+		parts := make([]string, len(ts[0]))
+		for i, l := range ts[0] {
+			parts[i] = l.Decision + "=" + l.Value
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "[" + e.String() + "]"
+}
+
+func nodeRef(n core.Node) string { return n.String() }
+
+func kindKeyword(k core.ActivityKind) string {
+	switch k {
+	case core.KindReceive:
+		return "receive"
+	case core.KindInvoke:
+		return "invoke"
+	case core.KindReply:
+		return "reply"
+	case core.KindDecision:
+		return "decision"
+	default:
+		return "opaque"
+	}
+}
+
+func dimKeyword(d core.Dimension) string {
+	switch d {
+	case core.Data:
+		return "data"
+	case core.Control:
+		return "control"
+	case core.ServiceDim:
+		return "service"
+	default:
+		return "cooperation"
+	}
+}

@@ -1,0 +1,162 @@
+package patterns
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/petri"
+	"dscweaver/internal/schedule"
+)
+
+// runPattern executes a pattern with the given work duration and
+// branch chooser and returns a validated trace.
+func runPattern(t *testing.T, pat *Pattern, work time.Duration, branch func(core.ActivityID) string) *schedule.Trace {
+	t.Helper()
+	execs := schedule.NoopExecutors(pat.Proc, work, branch)
+	eng, err := schedule.New(pat.SC, execs, schedule.Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", pat.Name, err, tr)
+	}
+	if err := tr.Validate(pat.SC, nil); err != nil {
+		t.Fatalf("%s: %v", pat.Name, err)
+	}
+	return tr
+}
+
+func TestSequencePattern(t *testing.T) {
+	tr := runPattern(t, Sequence(), 0, nil)
+	a, _ := tr.Record("a")
+	b, _ := tr.Record("b")
+	if a.FinishSeq >= b.StartSeq {
+		t.Error("sequence violated")
+	}
+}
+
+func TestParallelSplitRealizesConcurrency(t *testing.T) {
+	tr := runPattern(t, ParallelSplit(4), 10*time.Millisecond, nil)
+	if tr.MaxParallel < 3 {
+		t.Errorf("MaxParallel = %d, want ≥ 3", tr.MaxParallel)
+	}
+}
+
+func TestSynchronizationJoinsAll(t *testing.T) {
+	tr := runPattern(t, Synchronization(4), time.Millisecond, nil)
+	j, _ := tr.Record("j")
+	for i := 0; i < 4; i++ {
+		b, _ := tr.Record(core.ActivityID("b" + string(rune('0'+i))))
+		if b.FinishSeq >= j.StartSeq {
+			t.Errorf("join started before branch %d finished", i)
+		}
+	}
+}
+
+func TestExclusiveChoiceRoutesOneBranch(t *testing.T) {
+	for _, branch := range []string{"T", "F"} {
+		pat := ExclusiveChoice()
+		tr := runPattern(t, pat, 0, func(core.ActivityID) string { return branch })
+		skipped := tr.SkippedActivities()
+		if len(skipped) != 1 {
+			t.Fatalf("branch %s: skipped = %v, want exactly one branch dead", branch, skipped)
+		}
+		want := core.ActivityID("right")
+		if branch == "F" {
+			want = "left"
+		}
+		if skipped[0] != want {
+			t.Errorf("branch %s: skipped %v, want %v", branch, skipped[0], want)
+		}
+		if m, _ := tr.Record("m"); m.Skipped {
+			t.Errorf("branch %s: merge skipped", branch)
+		}
+	}
+}
+
+func TestInterleavedParallelRoutingNeverOverlaps(t *testing.T) {
+	pat := InterleavedParallelRouting(4)
+	for trial := 0; trial < 5; trial++ {
+		tr := runPattern(t, pat, time.Millisecond, nil)
+		if tr.MaxParallel != 1 {
+			t.Fatalf("interleaved activities overlapped: MaxParallel = %d", tr.MaxParallel)
+		}
+	}
+}
+
+func TestMilestoneOverlap(t *testing.T) {
+	pat := Milestone()
+	for trial := 0; trial < 5; trial++ {
+		tr := runPattern(t, pat, time.Millisecond, nil)
+		m, _ := tr.Record("m")
+		b, _ := tr.Record("b")
+		if !(m.StartSeq < b.StartSeq && b.FinishSeq < m.FinishSeq) {
+			t.Fatalf("b [%d,%d] not inside m's span [%d,%d]",
+				b.StartSeq, b.FinishSeq, m.StartSeq, m.FinishSeq)
+		}
+	}
+}
+
+func TestRendezvousReleasedTogether(t *testing.T) {
+	pat, err := HappenTogetherRendezvous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := runPattern(t, pat, time.Millisecond, nil)
+	// The coordinator must precede both starts.
+	var coordFinish int
+	for _, r := range tr.Records() {
+		if r.Activity != "a" && r.Activity != "b" {
+			coordFinish = r.FinishSeq
+		}
+	}
+	a, _ := tr.Record("a")
+	b, _ := tr.Record("b")
+	if coordFinish == 0 || a.StartSeq < coordFinish || b.StartSeq < coordFinish {
+		t.Errorf("rendezvous not coordinated: coord=%d a=%d b=%d", coordFinish, a.StartSeq, b.StartSeq)
+	}
+}
+
+func TestAllPatternsSound(t *testing.T) {
+	pats, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 7 {
+		t.Fatalf("patterns = %d, want 7", len(pats))
+	}
+	for _, pat := range pats {
+		guards, err := core.DeriveGuards(pat.SC)
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name, err)
+		}
+		rep, err := petri.Validate(pat.SC, guards)
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name, err)
+		}
+		if !rep.Sound {
+			t.Errorf("%s: unsound (%v)", pat.Name, rep.Deadlocks)
+		}
+	}
+}
+
+func TestPatternsMinimizeToThemselves(t *testing.T) {
+	// Every pattern encoding is already minimal — no redundancy to
+	// remove.
+	pats, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range pats {
+		res, err := core.Minimize(pat.SC)
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name, err)
+		}
+		if len(res.Removed) != 0 {
+			t.Errorf("%s: removed %v", pat.Name, res.Removed)
+		}
+	}
+}

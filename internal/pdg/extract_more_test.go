@@ -1,0 +1,202 @@
+package pdg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dscweaver/internal/core"
+)
+
+func TestFlowDefsFlowThroughNestedStructures(t *testing.T) {
+	// Definitions inside nested flows, switches and whiles are all
+	// visible to sibling flow branches (collectDefs recursion).
+	src := `
+process Deep {
+    sequence {
+        receive in writes(c)
+        flow {
+            sequence {
+                switch sw reads(c) {
+                    case T { assign defA writes(v) }
+                    case F { flow { assign defB writes(v) } }
+                }
+            }
+            sequence {
+                while lp reads(c) { assign defC writes(w) }
+            }
+            assign user reads(v) reads(w)
+        }
+    }
+}
+`
+	ex, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := depKeys(ex.Deps.ByDimension(core.Data))
+	for _, want := range []string{"defA →d user", "defB →d user", "defC →d user", "in →d sw", "in →d lp"} {
+		found := false
+		for _, d := range data {
+			if d == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %q in %v", want, data)
+		}
+	}
+}
+
+func TestSequencingConstraintsWhileAndNesting(t *testing.T) {
+	src := `
+process LoopSeq {
+    sequence {
+        receive in writes(n)
+        while w reads(n) {
+            assign s1 writes(n)
+            assign s2 reads(n)
+        }
+        switch sw reads(n) {
+            case T { sequence { assign t1 assign t2 } }
+            case F { }
+        }
+        reply out reads(n)
+    }
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExtractProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SequencingConstraints(prog, ex.Proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range sc.Constraints() {
+		keys[c.From.Node.String()+"→"+c.To.Node.String()] = true
+	}
+	for _, want := range []string{
+		"in→w",   // sequence chain into loop condition
+		"w→s1",   // while guards its body entry
+		"s1→s2",  // body is an implicit sequence
+		"sw→t1",  // case entry
+		"t1→t2",  // case body sequence
+		"w→sw",   // after the loop
+		"sw→out", // after the switch (exit via empty F case = sw itself)
+	} {
+		if !keys[want] {
+			t.Errorf("missing construct edge %s in %v", want, keys)
+		}
+	}
+}
+
+func TestExitActivitiesEmptyCaseFallsBackToSwitch(t *testing.T) {
+	src := `
+process EmptyCase {
+    sequence {
+        receive in writes(c)
+        switch sw reads(c) {
+            case T { assign body }
+            case F { }
+        }
+        reply out reads(c)
+    }
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExtractProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SequencingConstraints(prog, ex.Proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exits of the switch are {body, sw}: both chain into out.
+	found := map[string]bool{}
+	for _, c := range sc.Constraints() {
+		found[c.From.Node.String()+"→"+c.To.Node.String()] = true
+	}
+	if !found["body→out"] || !found["sw→out"] {
+		t.Errorf("empty-case exits mishandled: %v", found)
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"missing case keyword", `process P { switch s { banana } }`, "expected 'case'"},
+		{"missing brace", `process P { switch s case T { } }`, `expected "{"`},
+		{"unterminated reads", `process P { switch s reads( { case T {} case F {} } }`, "expected identifier"},
+		{"while bad list", `process P { while w reads() { } }`, "expected identifier"},
+		{"paren list comma", `process P { assign a writes(x,) }`, "expected identifier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Extract(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEntryActivitiesShapes(t *testing.T) {
+	prog, err := ParseProgram(`
+process Shapes {
+    sequence {
+        flow {
+            assign f1
+            sequence { assign s1 assign s2 }
+            while w { assign body }
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := prog.Body.(*SequenceStmt)
+	flow := seq.Body[0].(*FlowStmt)
+	got := entryActivities(flow)
+	want := []core.ActivityID{"f1", "s1", "w"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("entries = %v, want %v", got, want)
+	}
+	exits := exitActivities(flow)
+	wantExits := []core.ActivityID{"f1", "s2", "w"}
+	if !reflect.DeepEqual(exits, wantExits) {
+		t.Errorf("exits = %v, want %v", exits, wantExits)
+	}
+}
+
+func TestServiceDeclParsing(t *testing.T) {
+	prog, err := ParseProgram(`
+process Svc {
+    service A ports(1, 2) async sequential
+    service B ports(9)
+    assign x
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Services) != 2 {
+		t.Fatalf("services = %d", len(prog.Services))
+	}
+	a := prog.Services[0]
+	if !a.Async || !a.Sequential || len(a.Ports) != 2 {
+		t.Errorf("service A = %+v", a)
+	}
+	if prog.Services[1].Async {
+		t.Error("service B should be synchronous")
+	}
+}

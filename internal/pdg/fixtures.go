@@ -1,0 +1,74 @@
+package pdg
+
+// PurchasingSeqlang is the sequencing-construct implementation of the
+// Purchasing process — the paper's Figure 2 — written in seqlang. The
+// extractor derives Table 1's data and control rows from it, and
+// SequencingConstraints yields the over-specified baseline ordering
+// the paper criticizes (invProduction_po → invProduction_ss and
+// recShip_si → recShip_ss have no underlying dependency).
+const PurchasingSeqlang = `
+process Purchasing {
+    service Credit ports(1) async
+    service Purchase ports(1, 2) async sequential
+    service Ship ports(1) async
+    service Production ports(1, 2)
+
+    sequence {
+        receive recClient_po writes(po)
+        invoke invCredit_po Credit.1 reads(po)
+        receive recCredit_au Credit.d writes(au)
+        switch if_au reads(au) {
+            case T {
+                flow {
+                    sequence {
+                        invoke invPurchase_po Purchase.1 reads(po)
+                        invoke invPurchase_si Purchase.2 reads(si)
+                        receive recPurchase_oi Purchase.d writes(oi)
+                    }
+                    sequence {
+                        invoke invShip_po Ship.1 reads(po)
+                        receive recShip_si Ship.d writes(si)
+                        receive recShip_ss Ship.d writes(ss)
+                    }
+                    sequence {
+                        invoke invProduction_po Production.1 reads(po)
+                        invoke invProduction_ss Production.2 reads(ss)
+                    }
+                }
+            }
+            case F {
+                assign set_oi writes(oi)
+            }
+        }
+        reply replyClient_oi reads(oi)
+    }
+}
+`
+
+// ToySeqlang is the toy specification of the paper's Figure 3, whose
+// dependency graph is Figure 4: flag decides the path after a1, so
+// a2…a6 are control dependent on a1 (T or F), while a7 dominates both
+// paths and receives only the NONE join edge; data y links a2 to a3.
+const ToySeqlang = `
+process Toy {
+    sequence {
+        receive a0 writes(flag)
+        switch a1 reads(flag) {
+            case T {
+                sequence {
+                    assign a2 writes(y)
+                    assign a3 reads(y)
+                    assign a4
+                }
+            }
+            case F {
+                sequence {
+                    assign a5
+                    assign a6
+                }
+            }
+        }
+        assign a7
+    }
+}
+`

@@ -1,0 +1,29 @@
+package pdg
+
+import "testing"
+
+// FuzzExtract asserts the seqlang front end and the dependency
+// extractor never panic, and that extracted catalogs always validate
+// against their own process.
+func FuzzExtract(f *testing.F) {
+	f.Add(PurchasingSeqlang)
+	f.Add(ToySeqlang)
+	f.Add(`process P { assign a }`)
+	f.Add(`process P { sequence { assign a writes(x) assign b reads(x) } }`)
+	f.Add(`process P { flow { assign a writes(x) assign b reads(x) } }`)
+	f.Add(`process P { switch s { case A { assign a } case B { assign b } } }`)
+	f.Add(`process P { while w { assign a } }`)
+	f.Add(`process P { service S ports(1) async receive r S.d writes(x) }`)
+	f.Add(`process P {`)
+	f.Add(`sequence {}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ex, err := Extract(src)
+		if err != nil {
+			return
+		}
+		if err := ex.Deps.Validate(ex.Proc); err != nil {
+			t.Fatalf("extracted catalog invalid: %v", err)
+		}
+	})
+}

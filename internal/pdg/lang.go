@@ -1,0 +1,471 @@
+// Package pdg extracts data and control dependencies from processes
+// written with sequencing constructs — the paper's §3.1 ("in the
+// imperative programming approach … we can use program analysis
+// techniques like Program Dependency Graph to extract dependency
+// information") and §5 ("a process implemented in workflow patterns
+// can be parsed to a dependency graph such as PDG").
+//
+// It defines seqlang, a small imperative process notation mirroring
+// the BPEL constructs of the paper's Figure 2:
+//
+//	process Purchasing {
+//	    service Credit ports(1) async
+//
+//	    sequence {
+//	        receive recClient_po writes(po)
+//	        invoke invCredit_po Credit.1 reads(po)
+//	        switch if_au reads(au) {
+//	            case T { flow { … } }
+//	            case F { assign set_oi writes(oi) }
+//	        }
+//	        reply replyClient_oi reads(oi)
+//	    }
+//	}
+//
+// Extract performs reaching-definitions analysis (def-use data
+// dependencies, including the cross-branch flows that parallel
+// branches synchronize on) and control-dependence computation, and
+// returns the process model plus its data/control dependency catalog.
+// SequencingConstraints returns the ordering the constructs themselves
+// impose — the over-specified baseline the paper's Figure 2 discussion
+// criticizes, used by the comparison benches.
+package pdg
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Stmt is a seqlang statement.
+type Stmt interface{ stmt() }
+
+// SequenceStmt executes its children in order.
+type SequenceStmt struct{ Body []Stmt }
+
+// FlowStmt executes its children in parallel.
+type FlowStmt struct{ Body []Stmt }
+
+// SwitchStmt evaluates a predicate and runs one case.
+type SwitchStmt struct {
+	Name  string
+	Reads []string
+	Cases []SwitchCase
+}
+
+// SwitchCase is one labeled branch.
+type SwitchCase struct {
+	Label string
+	Body  []Stmt
+}
+
+// WhileStmt repeats its body while the predicate holds. The extractor
+// treats the body as a guarded region (one control edge per body
+// activity, branch "T"); loop-carried dependencies are out of the
+// paper's scope and therefore out of seqlang's.
+type WhileStmt struct {
+	Name  string
+	Reads []string
+	Body  []Stmt
+}
+
+// ActivityStmt is a leaf activity.
+type ActivityStmt struct {
+	Kind    string // receive | invoke | reply | assign
+	Name    string
+	Service string
+	Port    string
+	Reads   []string
+	Writes  []string
+}
+
+func (*SequenceStmt) stmt() {}
+func (*FlowStmt) stmt()     {}
+func (*SwitchStmt) stmt()   {}
+func (*WhileStmt) stmt()    {}
+func (*ActivityStmt) stmt() {}
+
+// ServiceDecl declares a remote service in a seqlang program.
+type ServiceDecl struct {
+	Name       string
+	Ports      []string
+	Async      bool
+	Sequential bool
+}
+
+// Program is a parsed seqlang source.
+type Program struct {
+	Name     string
+	Services []ServiceDecl
+	Body     Stmt
+}
+
+// --- lexer ---
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("seqlang:%d: %s", s.line, fmt.Sprintf(format, args...))
+}
+
+// nextToken returns the next token text; punctuation is returned as
+// itself. Empty string means EOF.
+func (s *scanner) nextToken() (string, error) {
+	for s.pos < len(s.src) {
+		b := s.src[s.pos]
+		switch {
+		case b == '\n':
+			s.line++
+			s.pos++
+		case b == ' ' || b == '\t' || b == '\r':
+			s.pos++
+		case b == '/' && strings.HasPrefix(s.src[s.pos:], "//"):
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return "", nil
+scan:
+	b := s.src[s.pos]
+	switch b {
+	case '{', '}', '(', ')', ',', '.', ':':
+		s.pos++
+		return string(b), nil
+	}
+	if b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b)) {
+		start := s.pos
+		for s.pos < len(s.src) {
+			c := s.src[s.pos]
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				s.pos++
+				continue
+			}
+			break
+		}
+		return s.src[start:s.pos], nil
+	}
+	return "", s.errf("unexpected character %q", b)
+}
+
+// --- parser ---
+
+type langParser struct {
+	s      *scanner
+	tok    string
+	tokSet bool
+}
+
+func (p *langParser) peek() (string, error) {
+	if !p.tokSet {
+		t, err := p.s.nextToken()
+		if err != nil {
+			return "", err
+		}
+		p.tok, p.tokSet = t, true
+	}
+	return p.tok, nil
+}
+
+func (p *langParser) next() (string, error) {
+	t, err := p.peek()
+	p.tokSet = false
+	return t, err
+}
+
+func (p *langParser) expect(want string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return p.s.errf("expected %q, found %q", want, t)
+	}
+	return nil
+}
+
+func (p *langParser) ident() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t == "" || strings.ContainsAny(t, "{}(),.:") {
+		return "", p.s.errf("expected identifier, found %q", t)
+	}
+	return t, nil
+}
+
+// ParseProgram parses seqlang source.
+func ParseProgram(src string) (*Program, error) {
+	p := &langParser{s: &scanner{src: src, line: 1}}
+	if err := p.expect("process"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t != "service" {
+			break
+		}
+		p.next()
+		svc, err := p.parseService()
+		if err != nil {
+			return nil, err
+		}
+		prog.Services = append(prog.Services, *svc)
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if t, err := p.next(); err != nil {
+		return nil, err
+	} else if t != "" {
+		return nil, p.s.errf("unexpected %q after process", t)
+	}
+	return prog, nil
+}
+
+func (p *langParser) parseService() (*ServiceDecl, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &ServiceDecl{Name: name}
+	if err := p.expect("ports"); err != nil {
+		return nil, err
+	}
+	ports, err := p.parenList()
+	if err != nil {
+		return nil, err
+	}
+	d.Ports = ports
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "async":
+			p.next()
+			d.Async = true
+		case "sequential":
+			p.next()
+			d.Sequential = true
+		default:
+			return d, nil
+		}
+	}
+}
+
+func (p *langParser) parenList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == ")" {
+			return out, nil
+		}
+		if t != "," {
+			return nil, p.s.errf("expected ',' or ')', found %q", t)
+		}
+	}
+}
+
+func (p *langParser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t == "}" {
+			p.next()
+			return body, nil
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+}
+
+func (p *langParser) parseStmt() (Stmt, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case "sequence":
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SequenceStmt{Body: body}, nil
+	case "flow":
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &FlowStmt{Body: body}, nil
+	case "switch":
+		return p.parseSwitch()
+	case "while":
+		return p.parseWhile()
+	case "receive", "invoke", "reply", "assign":
+		return p.parseActivity(t)
+	default:
+		return nil, p.s.errf("unknown statement %q", t)
+	}
+}
+
+func (p *langParser) parseSwitch() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Name: name}
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t == "reads" {
+		p.next()
+		if sw.Reads, err = p.parenList(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == "}" {
+			if len(sw.Cases) < 2 {
+				return nil, p.s.errf("switch %s needs at least two cases", sw.Name)
+			}
+			return sw, nil
+		}
+		if t != "case" {
+			return nil, p.s.errf("expected 'case' or '}', found %q", t)
+		}
+		label, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		sw.Cases = append(sw.Cases, SwitchCase{Label: label, Body: body})
+	}
+}
+
+func (p *langParser) parseWhile() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	w := &WhileStmt{Name: name}
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t == "reads" {
+		p.next()
+		if w.Reads, err = p.parenList(); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	w.Body = body
+	return w, nil
+}
+
+func (p *langParser) parseActivity(kind string) (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	a := &ActivityStmt{Kind: kind, Name: name}
+	// Optional endpoint Service.port for invoke/receive.
+	if kind == "invoke" || kind == "receive" {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t != "reads" && t != "writes" && !strings.ContainsAny(t, "{}(),.:") && t != "" &&
+			t != "sequence" && t != "flow" && t != "switch" && t != "while" &&
+			t != "receive" && t != "invoke" && t != "reply" && t != "assign" && t != "case" {
+			svc, _ := p.next()
+			if err := p.expect("."); err != nil {
+				return nil, err
+			}
+			port, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			a.Service, a.Port = svc, port
+		}
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "reads":
+			p.next()
+			vars, err := p.parenList()
+			if err != nil {
+				return nil, err
+			}
+			a.Reads = append(a.Reads, vars...)
+		case "writes":
+			p.next()
+			vars, err := p.parenList()
+			if err != nil {
+				return nil, err
+			}
+			a.Writes = append(a.Writes, vars...)
+		default:
+			return a, nil
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateSpace is the result of an explicit-state exploration.
+type StateSpace struct {
+	// States counts distinct reachable markings.
+	States int
+	// Transitions counts explored firings (edges of the reachability
+	// graph).
+	Transitions int
+	// Deadlocks lists reachable markings with no enabled transition
+	// that do not satisfy the exploration's final predicate.
+	Deadlocks []Marking
+	// Finals lists reachable markings satisfying the final predicate
+	// (with no distinction whether further transitions are enabled).
+	Finals []Marking
+	// DeadTransitions lists transitions never enabled in any reachable
+	// marking.
+	DeadTransitions []TransitionID
+	// Bounded is false if some place exceeded the bound during
+	// exploration.
+	Bounded bool
+	// MaxTokens is the largest token count observed in any single
+	// place.
+	MaxTokens int
+	// Truncated is true if the exploration hit the state limit.
+	Truncated bool
+}
+
+// ExploreOptions tunes Explore.
+type ExploreOptions struct {
+	// MaxStates bounds the exploration (default 1 << 20).
+	MaxStates int
+	// Bound is the per-place token bound for the boundedness check
+	// (default 16). Exceeding it clears Bounded but does not stop the
+	// exploration.
+	Bound int
+	// Final classifies completion markings; may be nil (no marking is
+	// final, every dead marking is a deadlock).
+	Final func(Marking) bool
+}
+
+// Explore performs a breadth-first reachability analysis from the
+// initial marking.
+func (n *Net) Explore(opts ExploreOptions) (*StateSpace, error) {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 20
+	}
+	if opts.Bound <= 0 {
+		opts.Bound = 16
+	}
+	ss := &StateSpace{Bounded: true}
+	seen := map[string]bool{}
+	fired := make([]bool, len(n.transitions))
+
+	start := n.InitialMarking()
+	queue := []Marking{start}
+	seen[start.Key()] = true
+
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		ss.States++
+		for p := range n.places {
+			if k := m.Tokens(PlaceID(p)); k > ss.MaxTokens {
+				ss.MaxTokens = k
+				if k > opts.Bound {
+					ss.Bounded = false
+				}
+			}
+		}
+		enabled := n.Enabled(m)
+		isFinal := opts.Final != nil && opts.Final(m)
+		if isFinal {
+			ss.Finals = append(ss.Finals, m)
+		}
+		if len(enabled) == 0 && !isFinal {
+			ss.Deadlocks = append(ss.Deadlocks, m)
+		}
+		for _, t := range enabled {
+			fired[t] = true
+			next, err := n.Fire(m, t)
+			if err != nil {
+				return nil, err
+			}
+			ss.Transitions++
+			key := next.Key()
+			if !seen[key] {
+				if len(seen) >= opts.MaxStates {
+					ss.Truncated = true
+					continue
+				}
+				seen[key] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for t, f := range fired {
+		if !f {
+			ss.DeadTransitions = append(ss.DeadTransitions, TransitionID(t))
+		}
+	}
+	return ss, nil
+}
+
+// SoundnessReport is the validation verdict the weaver pipeline
+// consumes (the paper's design-time conflict detection, §4.1).
+type SoundnessReport struct {
+	// Sound is true when, from every reachable marking, a final
+	// marking remains reachable, and no deadlock exists.
+	Sound bool
+	// Deadlocks carries diagnostic markings when unsound.
+	Deadlocks []string
+	// Unreachable lists final-predicate violations: true when no final
+	// marking is reachable at all.
+	NoCompletion bool
+	// StateSpace carries the exploration statistics.
+	StateSpace *StateSpace
+}
+
+// CheckSoundness explores the net and verifies the classical workflow
+// soundness conditions relative to the final predicate:
+//
+//  1. option to complete — from every reachable marking some final
+//     marking is reachable;
+//  2. no deadlocks — every dead marking is final.
+//
+// Dead transitions are reported through the embedded StateSpace but do
+// not make a net unsound here: the builder intentionally emits guard
+// variants for branch assignments that a particular run never takes.
+func (n *Net) CheckSoundness(opts ExploreOptions) (*SoundnessReport, error) {
+	if opts.Final == nil {
+		return nil, fmt.Errorf("petri: CheckSoundness requires a Final predicate")
+	}
+	// Forward exploration with successor recording for the
+	// option-to-complete check.
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 20
+	}
+	type node struct {
+		m     Marking
+		succs []int
+		final bool
+		dead  bool
+	}
+	var nodes []node
+	index := map[string]int{}
+
+	start := n.InitialMarking()
+	index[start.Key()] = 0
+	nodes = append(nodes, node{m: start})
+	truncated := false
+
+	for i := 0; i < len(nodes); i++ {
+		m := nodes[i].m
+		enabled := n.Enabled(m)
+		nodes[i].final = opts.Final(m)
+		nodes[i].dead = len(enabled) == 0
+		for _, t := range enabled {
+			next, err := n.Fire(m, t)
+			if err != nil {
+				return nil, err
+			}
+			key := next.Key()
+			j, ok := index[key]
+			if !ok {
+				if len(nodes) >= opts.MaxStates {
+					truncated = true
+					continue
+				}
+				j = len(nodes)
+				index[key] = j
+				nodes = append(nodes, node{m: next})
+			}
+			nodes[i].succs = append(nodes[i].succs, j)
+		}
+	}
+
+	// Backward reachability from final markings.
+	preds := make([][]int, len(nodes))
+	for i, nd := range nodes {
+		for _, j := range nd.succs {
+			preds[j] = append(preds[j], i)
+		}
+	}
+	canComplete := make([]bool, len(nodes))
+	var stack []int
+	for i, nd := range nodes {
+		if nd.final {
+			canComplete[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		j := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range preds[j] {
+			if !canComplete[i] {
+				canComplete[i] = true
+				stack = append(stack, i)
+			}
+		}
+	}
+
+	rep := &SoundnessReport{Sound: true, StateSpace: &StateSpace{States: len(nodes), Bounded: true, Truncated: truncated}}
+	anyFinal := false
+	for i, nd := range nodes {
+		if nd.final {
+			anyFinal = true
+		}
+		if nd.dead && !nd.final {
+			rep.Sound = false
+			rep.Deadlocks = append(rep.Deadlocks, n.describeMarking(nd.m))
+		}
+		if !canComplete[i] {
+			rep.Sound = false
+		}
+	}
+	if !anyFinal {
+		rep.Sound = false
+		rep.NoCompletion = true
+	}
+	if truncated {
+		// A truncated exploration cannot certify soundness.
+		rep.Sound = false
+	}
+	sort.Strings(rep.Deadlocks)
+	return rep, nil
+}
+
+// describeMarking renders a marking with place names for diagnostics.
+func (n *Net) describeMarking(m Marking) string {
+	var parts []string
+	for p, tokens := range m {
+		for c, k := range tokens {
+			if k == 0 {
+				continue
+			}
+			label := n.places[p].Name
+			if c != "" {
+				label += "(" + c + ")"
+			}
+			if k > 1 {
+				label += fmt.Sprintf("×%d", k)
+			}
+			parts = append(parts, label)
+		}
+	}
+	sort.Strings(parts)
+	return "{" + joinComma(parts) + "}"
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

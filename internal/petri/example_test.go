@@ -1,0 +1,43 @@
+package petri_test
+
+import (
+	"fmt"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/petri"
+)
+
+// ExampleValidate checks a tiny constraint set for workflow soundness
+// through the Petri-net stage (§4.1).
+func ExampleValidate() {
+	proc := core.NewProcess("tiny")
+	proc.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	proc.MustAddActivity(&core.Activity{ID: "b", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(proc)
+	sc.Before("a", "b", core.Data)
+
+	rep, err := petri.Validate(sc, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sound=%v states=%d\n", rep.Sound, rep.StateSpace.States)
+	// Output:
+	// sound=true states=5
+}
+
+// ExampleNet_Coverability decides boundedness definitively with the
+// Karp–Miller construction.
+func ExampleNet_Coverability() {
+	n := petri.New()
+	seed := n.AddPlace("seed", "")
+	sink := n.AddPlace("sink")
+	n.AddTransition("gen", petri.Read(seed, ""), petri.Out(sink, ""))
+
+	rep, err := n.Coverability(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bounded=%v unbounded places=%d\n", rep.Bounded, len(rep.UnboundedPlaces))
+	// Output:
+	// bounded=false unbounded places=1
+}

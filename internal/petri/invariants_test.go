@@ -1,0 +1,126 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+
+	"dscweaver/internal/core"
+)
+
+func TestInvariantsTokenRing(t *testing.T) {
+	// One token circulating through three places: p0+p1+p2 = 1.
+	n := New()
+	p0 := n.AddPlace("p0", "")
+	p1 := n.AddPlace("p1")
+	p2 := n.AddPlace("p2")
+	n.AddTransition("t01", In(p0, ""), Out(p1, ""))
+	n.AddTransition("t12", In(p1, ""), Out(p2, ""))
+	n.AddTransition("t20", In(p2, ""), Out(p0, ""))
+	invs, err := n.PlaceInvariants(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 {
+		t.Fatalf("invariants = %d, want 1: %v", len(invs), invs)
+	}
+	inv := invs[0]
+	if inv.Constant != 1 || len(inv.Weights) != 3 {
+		t.Errorf("invariant = %s", n.Describe(inv))
+	}
+	if err := n.CheckInvariants(invs, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsUnboundedNetHasNone(t *testing.T) {
+	// A pure generator has no nonnegative invariant covering the sink.
+	n := New()
+	seed := n.AddPlace("seed", "")
+	sink := n.AddPlace("sink")
+	n.AddTransition("gen", Read(seed, ""), Out(sink, ""))
+	invs, err := n.PlaceInvariants(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range invs {
+		if _, covers := inv.Weights[sink]; covers {
+			t.Errorf("invariant %s covers the unbounded sink", n.Describe(inv))
+		}
+	}
+}
+
+func TestInvariantsWeightedLoop(t *testing.T) {
+	// t consumes 2 from p0 and produces 1 into p1; u does the reverse:
+	// invariant p0 + 2·p1 = const.
+	n := New()
+	p0 := n.AddPlace("p0", "", "")
+	p1 := n.AddPlace("p1")
+	n.AddTransition("t", In(p0, ""), In(p0, ""), Out(p1, ""))
+	n.AddTransition("u", In(p1, ""), Out(p0, ""), Out(p0, ""))
+	invs, err := n.PlaceInvariants(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 {
+		t.Fatalf("invariants = %v", invs)
+	}
+	s := n.Describe(invs[0])
+	if !strings.Contains(s, "2·p1") || invs[0].Constant != 2 {
+		t.Errorf("invariant = %s, want p0 + 2·p1 = 2", s)
+	}
+	if err := n.CheckInvariants(invs, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivityLifecycleInvariants(t *testing.T) {
+	// In a built scheduling net, every activity satisfies
+	// wait + running + done = 1 (with skip transitions bypassing
+	// running). The invariant analysis must discover these.
+	p := core.NewProcess("inv")
+	p.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "b", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Before("a", "b", core.Data)
+	n, m, err := Build(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := n.PlaceInvariants(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckInvariants(invs, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Find the a-lifecycle invariant.
+	for _, id := range []core.ActivityID{"a", "b"} {
+		found := false
+		for _, inv := range invs {
+			if len(inv.Weights) > 4 {
+				continue
+			}
+			if inv.Weights[m.Wait[id]] == 1 && inv.Weights[m.Running[id]] == 1 && inv.Weights[m.Done[id]] == 1 && inv.Constant == 1 {
+				found = true
+			}
+		}
+		if !found {
+			descs := make([]string, len(invs))
+			for i, inv := range invs {
+				descs[i] = n.Describe(inv)
+			}
+			t.Errorf("lifecycle invariant for %s not found among:\n%s", id, strings.Join(descs, "\n"))
+		}
+	}
+}
+
+func TestCheckInvariantsDetectsViolation(t *testing.T) {
+	n := New()
+	p0 := n.AddPlace("p0", "")
+	p1 := n.AddPlace("p1")
+	n.AddTransition("t", In(p0, ""), Out(p1, ""), Out(p1, "")) // doubles tokens
+	bogus := []PlaceInvariant{{Weights: map[PlaceID]int64{p0: 1, p1: 1}, Constant: 1}}
+	if err := n.CheckInvariants(bogus, 0); err == nil {
+		t.Error("violated invariant not detected")
+	}
+}

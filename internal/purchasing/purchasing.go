@@ -1,0 +1,205 @@
+// Package purchasing encodes the paper's running example (§2,
+// Figures 1–2): the Purchasing process, its four remote services, and
+// the complete four-dimension dependency catalog of Table 1. Tests,
+// examples and benchmarks all share this single fixture, and the
+// repro harness regenerates the paper's tables and figures from it.
+package purchasing
+
+import (
+	"dscweaver/internal/core"
+)
+
+// Activity ids of the Purchasing process, in Figure 1's order.
+const (
+	RecClientPo     = core.ActivityID("recClient_po")
+	InvCreditPo     = core.ActivityID("invCredit_po")
+	RecCreditAu     = core.ActivityID("recCredit_au")
+	IfAu            = core.ActivityID("if_au")
+	InvPurchasePo   = core.ActivityID("invPurchase_po")
+	InvPurchaseSi   = core.ActivityID("invPurchase_si")
+	RecPurchaseOi   = core.ActivityID("recPurchase_oi")
+	InvShipPo       = core.ActivityID("invShip_po")
+	RecShipSi       = core.ActivityID("recShip_si")
+	RecShipSs       = core.ActivityID("recShip_ss")
+	InvProductionPo = core.ActivityID("invProduction_po")
+	InvProductionSs = core.ActivityID("invProduction_ss")
+	SetOi           = core.ActivityID("set_oi")
+	ReplyClientOi   = core.ActivityID("replyClient_oi")
+)
+
+// Service names.
+const (
+	Credit     = "Credit"
+	Purchase   = "Purchase"
+	Ship       = "Ship"
+	Production = "Production"
+)
+
+// Process builds the Purchasing process of Figure 1: fourteen
+// activities and four services. The Purchase service is state-aware
+// (its two ports must be invoked sequentially); Credit, Purchase and
+// Ship call back asynchronously through their dummy ports; Production
+// accepts fire-and-forget invocations and never calls back.
+func Process() *core.Process {
+	p := core.NewProcess("Purchasing")
+
+	p.MustAddService(&core.Service{Name: Credit, Ports: []string{"1"}, Async: true})
+	p.MustAddService(&core.Service{Name: Purchase, Ports: []string{"1", "2"}, Async: true, SequentialPorts: true})
+	p.MustAddService(&core.Service{Name: Ship, Ports: []string{"1"}, Async: true})
+	p.MustAddService(&core.Service{Name: Production, Ports: []string{"1", "2"}})
+
+	p.MustAddActivity(&core.Activity{ID: RecClientPo, Kind: core.KindReceive, Writes: []string{"po"}})
+	p.MustAddActivity(&core.Activity{ID: InvCreditPo, Kind: core.KindInvoke, Service: Credit, Port: "1", Reads: []string{"po"}})
+	p.MustAddActivity(&core.Activity{ID: RecCreditAu, Kind: core.KindReceive, Service: Credit, Port: core.DummyPort, Writes: []string{"au"}})
+	p.MustAddActivity(&core.Activity{ID: IfAu, Kind: core.KindDecision, Reads: []string{"au"}})
+	p.MustAddActivity(&core.Activity{ID: InvPurchasePo, Kind: core.KindInvoke, Service: Purchase, Port: "1", Reads: []string{"po"}})
+	p.MustAddActivity(&core.Activity{ID: InvPurchaseSi, Kind: core.KindInvoke, Service: Purchase, Port: "2", Reads: []string{"si"}})
+	p.MustAddActivity(&core.Activity{ID: RecPurchaseOi, Kind: core.KindReceive, Service: Purchase, Port: core.DummyPort, Writes: []string{"oi"}})
+	p.MustAddActivity(&core.Activity{ID: InvShipPo, Kind: core.KindInvoke, Service: Ship, Port: "1", Reads: []string{"po"}})
+	p.MustAddActivity(&core.Activity{ID: RecShipSi, Kind: core.KindReceive, Service: Ship, Port: core.DummyPort, Writes: []string{"si"}})
+	p.MustAddActivity(&core.Activity{ID: RecShipSs, Kind: core.KindReceive, Service: Ship, Port: core.DummyPort, Writes: []string{"ss"}})
+	p.MustAddActivity(&core.Activity{ID: InvProductionPo, Kind: core.KindInvoke, Service: Production, Port: "1", Reads: []string{"po"}})
+	p.MustAddActivity(&core.Activity{ID: InvProductionSs, Kind: core.KindInvoke, Service: Production, Port: "2", Reads: []string{"ss"}})
+	p.MustAddActivity(&core.Activity{ID: SetOi, Kind: core.KindOpaque, Writes: []string{"oi"}})
+	p.MustAddActivity(&core.Activity{ID: ReplyClientOi, Kind: core.KindReply, Reads: []string{"oi"}})
+
+	return p
+}
+
+// node helpers for Table 1 construction.
+func act(id core.ActivityID) core.Node { return core.ActivityNode(id) }
+func svc(name, port string) core.Node  { return core.ServiceNode(name, port) }
+
+// Dependencies returns the complete Table 1 catalog: 9 data, 10
+// control, 6 cooperation and 15 service dependencies (40 total).
+func Dependencies() *core.DependencySet {
+	s := core.NewDependencySet()
+
+	// Data dependencies {→d} — definition-use pairs over po, au, si,
+	// ss, oi (§3.1, Figure 5).
+	data := []struct {
+		from, to core.ActivityID
+		variable string
+	}{
+		{RecClientPo, InvCreditPo, "po"},
+		{RecCreditAu, IfAu, "au"},
+		{RecClientPo, InvPurchasePo, "po"},
+		{RecClientPo, InvShipPo, "po"},
+		{RecClientPo, InvProductionPo, "po"},
+		{RecShipSi, InvPurchaseSi, "si"},
+		{RecShipSs, InvProductionSs, "ss"},
+		{SetOi, ReplyClientOi, "oi"},
+		{RecPurchaseOi, ReplyClientOi, "oi"},
+	}
+	for _, d := range data {
+		s.Add(core.Dependency{From: act(d.from), To: act(d.to), Dim: core.Data, Label: d.variable})
+	}
+
+	// Control dependencies {→c} — if_au guards both branches; the
+	// last entry carries the paper's NONE annotation (§3.1).
+	control := []struct {
+		to     core.ActivityID
+		branch string
+	}{
+		{InvPurchasePo, "T"},
+		{InvPurchaseSi, "T"},
+		{RecPurchaseOi, "T"},
+		{InvShipPo, "T"},
+		{RecShipSi, "T"},
+		{RecShipSs, "T"},
+		{InvProductionPo, "T"},
+		{InvProductionSs, "T"},
+		{SetOi, "F"},
+		{ReplyClientOi, ""},
+	}
+	for _, c := range control {
+		s.Add(core.Dependency{From: act(IfAu), To: act(c.to), Dim: core.Control, Branch: c.branch})
+	}
+
+	// Cooperation dependencies {→o} — the invoice may only return to
+	// the client after ShipSubprocess and ProductionSubprocess finish
+	// (§3.2, specified by the process analyst).
+	coop := []core.ActivityID{
+		RecPurchaseOi, InvShipPo, RecShipSi, RecShipSs, InvProductionPo, InvProductionSs,
+	}
+	for _, from := range coop {
+		s.Add(core.Dependency{From: act(from), To: act(ReplyClientOi), Dim: core.Cooperation, Label: "invoice after subprocesses"})
+	}
+
+	// Service dependencies {→s} — from the services' conversation
+	// descriptions (§3.3, Table 1 bottom block).
+	service := []struct{ from, to core.Node }{
+		{act(InvCreditPo), svc(Credit, "1")},
+		{svc(Credit, "1"), svc(Credit, core.DummyPort)},
+		{svc(Credit, core.DummyPort), act(RecCreditAu)},
+		{act(InvPurchasePo), svc(Purchase, "1")},
+		{act(InvPurchaseSi), svc(Purchase, "2")},
+		{svc(Purchase, core.DummyPort), act(RecPurchaseOi)},
+		{svc(Purchase, "1"), svc(Purchase, core.DummyPort)},
+		{svc(Purchase, "2"), svc(Purchase, core.DummyPort)},
+		{svc(Purchase, "1"), svc(Purchase, "2")},
+		{act(InvShipPo), svc(Ship, "1")},
+		{svc(Ship, "1"), svc(Ship, core.DummyPort)},
+		{svc(Ship, core.DummyPort), act(RecShipSi)},
+		{svc(Ship, core.DummyPort), act(RecShipSs)},
+		{act(InvProductionPo), svc(Production, "1")},
+		{act(InvProductionSs), svc(Production, "2")},
+	}
+	for _, d := range service {
+		s.Add(core.Dependency{From: d.from, To: d.to, Dim: core.ServiceDim, Label: "conversation"})
+	}
+
+	return s
+}
+
+// MinimalEdges lists the expected minimal synchronization constraint
+// set of Figure 9 as (from, to, branch) triples: 17 constraints, i.e.
+// Table 2's 23 removed out of the 40 of Table 1. The golden tests
+// compare core.Minimize's output against this list.
+func MinimalEdges() []struct {
+	From, To core.ActivityID
+	Branch   string
+} {
+	return []struct {
+		From, To core.ActivityID
+		Branch   string
+	}{
+		{RecClientPo, InvCreditPo, ""},
+		{InvCreditPo, RecCreditAu, ""},
+		{RecCreditAu, IfAu, ""},
+		{IfAu, InvPurchasePo, "T"},
+		{IfAu, InvShipPo, "T"},
+		{IfAu, InvProductionPo, "T"},
+		{IfAu, SetOi, "F"},
+		{SetOi, ReplyClientOi, ""},
+		{InvPurchasePo, InvPurchaseSi, ""},
+		{RecShipSi, InvPurchaseSi, ""},
+		{InvPurchaseSi, RecPurchaseOi, ""},
+		{RecPurchaseOi, ReplyClientOi, ""},
+		{InvShipPo, RecShipSi, ""},
+		{InvShipPo, RecShipSs, ""},
+		{RecShipSs, InvProductionSs, ""},
+		{InvProductionSs, ReplyClientOi, ""},
+		{InvProductionPo, ReplyClientOi, ""},
+	}
+}
+
+// Pipeline runs the full optimization pipeline on the fixture:
+// merge (Figure 7) → service translation (Figure 8) → minimization
+// (Figure 9). It returns all three stages.
+func Pipeline() (merged, translated *core.ConstraintSet, result *core.MinimizeResult, err error) {
+	proc := Process()
+	merged, err = core.Merge(proc, Dependencies())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	translated, err = core.TranslateServices(merged)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	result, err = core.Minimize(translated)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return merged, translated, result, nil
+}

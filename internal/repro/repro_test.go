@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllArtifactsMatchPaper(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("artifacts = %d, want 10", len(results))
+	}
+	for _, r := range results {
+		if !r.Match() {
+			t.Errorf("%s: measured %q, paper %q", r.ID, r.MeasuredValue, r.PaperValue)
+		}
+		if r.Text == "" {
+			t.Errorf("%s: empty text", r.ID)
+		}
+		if r.Title == "" {
+			t.Errorf("%s: empty title", r.ID)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"recShip_si →d invPurchase_si",
+		"if_au →c[F] set_oi",
+		"invProduction_ss →o replyClient_oi",
+		"Purchase.1 →s Purchase.2",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table 1 text missing %q", want)
+		}
+	}
+}
+
+func TestFigure8MarksTranslatedEdges(t *testing.T) {
+	r, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(r.Text, "** translated"); got != 6 {
+		t.Errorf("translated markers = %d, want 6", got)
+	}
+	if !strings.Contains(r.Text, "invPurchase_po -> invPurchase_si   **") {
+		t.Errorf("port-order anchored edge not marked:\n%s", r.Text)
+	}
+}
+
+func TestFigure9Content(t *testing.T) {
+	r, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(r.Text), "\n")
+	if len(lines) != 17 {
+		t.Errorf("Figure 9 lines = %d, want 17", len(lines))
+	}
+	for _, gone := range []string{
+		"recClient_po -> invPurchase_po", // guard-subsumed data edge
+		"if_au -> replyClient_oi",        // T∨F-folded control edge
+		"invPurchase_po -> recPurchase_oi",
+	} {
+		if strings.Contains(r.Text, gone+"\n") || strings.HasSuffix(r.Text, gone) {
+			t.Errorf("redundant edge %q survived in Figure 9", gone)
+		}
+	}
+}
+
+func TestBPELDocumentIsXML(t *testing.T) {
+	r, err := BPELDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "<process") || !strings.Contains(r.Text, "suppressJoinFailure=\"yes\"") {
+		t.Errorf("unexpected BPEL text:\n%.300s", r.Text)
+	}
+}
+
+func TestSoundnessText(t *testing.T) {
+	r, err := Soundness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "sound=true") {
+		t.Errorf("soundness text:\n%s", r.Text)
+	}
+}

@@ -1,0 +1,454 @@
+// Package schedule executes a business process directly from its
+// synchronization constraint set — the dataflow scheduling engine the
+// paper's dependency-equal-to-scheduling approach calls for (§1). No
+// sequencing constructs exist at runtime: one goroutine per activity
+// waits until the constraints naming it are released, so the
+// concurrency the minimal dependency set exposes is realized
+// mechanically.
+//
+// Semantics (mirrored exactly by the petri package's net builder, so
+// validated schemes execute as analyzed):
+//
+//   - every activity traverses start → run → finish (§4.1's life
+//     cycle);
+//   - a HappenBefore constraint gates the target point until the
+//     source point has occurred or the source activity was skipped;
+//   - an activity whose execution guard (from the control
+//     dependencies) evaluates false under the resolved decision
+//     outcomes is skipped — dead-path elimination — and all its points
+//     count as released for its dependents;
+//   - Exclusive constraints are enforced at start time with per-pair
+//     mutexes, "dynamically checked by a scheduling engine at the time
+//     of starting an activity" (§4.2).
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+)
+
+// Outcome is an executor's result; Branch is consumed for decision
+// activities and ignored otherwise.
+type Outcome struct {
+	Branch string
+}
+
+// Executor performs an activity's work: a service invocation, a local
+// computation, or a decision evaluation.
+type Executor func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error)
+
+// Vars is the process's shared variable store.
+type Vars struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewVars returns a store seeded with the given inputs.
+func NewVars(seed map[string]any) *Vars {
+	v := &Vars{m: map[string]any{}}
+	for k, val := range seed {
+		v.m[k] = val
+	}
+	return v
+}
+
+// Get reads a variable.
+func (v *Vars) Get(name string) (any, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	val, ok := v.m[name]
+	return val, ok
+}
+
+// Set writes a variable.
+func (v *Vars) Set(name string, val any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.m[name] = val
+}
+
+// Snapshot copies the store.
+func (v *Vars) Snapshot() map[string]any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]any, len(v.m))
+	for k, val := range v.m {
+		out[k] = val
+	}
+	return out
+}
+
+// RetryPolicy controls recovery from executor failures — the paper's
+// §3.2 exception scenario: "if an exception occurs at
+// invProduction_ss, the execution of replyClient_oi is postponed until
+// the exception is fixed." An activity with attempts remaining is
+// re-executed after the backoff; its dependents simply keep waiting
+// for its finish event.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (≥ 1).
+	MaxAttempts int
+	// Backoff is the delay between attempts.
+	Backoff time.Duration
+}
+
+// Options tunes an engine.
+type Options struct {
+	// Timeout bounds Run (default 30s). A run that exceeds it fails
+	// with a diagnostic listing the blocked activities — the runtime
+	// face of an unsound constraint set.
+	Timeout time.Duration
+	// Guards overrides the execution guards. When nil they are derived
+	// from the constraint set's control-origin edges; pass the guards
+	// of the pre-minimization set when executing a minimal set.
+	Guards map[core.Node]cond.Expr
+	// Inputs seeds the variable store.
+	Inputs map[string]any
+	// Retry gives per-activity recovery policies; activities without
+	// an entry fail the run on the first executor error.
+	Retry map[core.ActivityID]RetryPolicy
+	// Workers caps the number of concurrently executing activities
+	// (0 = unlimited). The constraint graph bounds parallelism from
+	// above; Workers models a resource-constrained engine, letting the
+	// benches chart makespan against available executors.
+	Workers int
+}
+
+// Engine executes one process instance per Run call.
+type Engine struct {
+	sc     *core.ConstraintSet
+	proc   *core.Process
+	execs  map[core.ActivityID]Executor
+	guards map[core.Node]cond.Expr
+	opts   Options
+
+	// static wiring
+	inEdges  map[core.ActivityID][]edgeRef // constraints targeting the activity
+	mutexes  map[core.ActivityID][]int     // exclusive constraint ids per activity
+	nMutexes int
+}
+
+type edgeRef struct {
+	con     core.Constraint
+	toState core.State
+}
+
+// New validates the constraint set (activity-level nodes only,
+// desugared, acyclic) and prepares an engine.
+func New(sc *core.ConstraintSet, execs map[core.ActivityID]Executor, opts Options) (*Engine, error) {
+	if sc.HasServiceNodes() {
+		return nil, fmt.Errorf("schedule: constraint set mentions external nodes; translate first")
+	}
+	for _, c := range sc.Constraints() {
+		if c.Rel == core.HappenTogether {
+			return nil, fmt.Errorf("schedule: HappenTogether constraint %s: desugar first", c)
+		}
+	}
+	guards := opts.Guards
+	if guards == nil {
+		g, err := core.DeriveGuards(sc) // also rejects cyclic sets
+		if err != nil {
+			return nil, err
+		}
+		guards = g
+	} else if _, err := core.DeriveGuards(sc); err != nil {
+		return nil, err // cycle check even with supplied guards
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	e := &Engine{
+		sc: sc, proc: sc.Proc, execs: execs, guards: guards, opts: opts,
+		inEdges: map[core.ActivityID][]edgeRef{},
+		mutexes: map[core.ActivityID][]int{},
+	}
+	for _, c := range sc.Constraints() {
+		switch c.Rel {
+		case core.HappenBefore:
+			e.inEdges[c.To.Node.Activity] = append(e.inEdges[c.To.Node.Activity], edgeRef{con: c, toState: c.To.State})
+		case core.Exclusive:
+			id := e.nMutexes
+			e.nMutexes++
+			e.mutexes[c.From.Node.Activity] = append(e.mutexes[c.From.Node.Activity], id)
+			e.mutexes[c.To.Node.Activity] = append(e.mutexes[c.To.Node.Activity], id)
+		}
+	}
+	return e, nil
+}
+
+// guardOf returns an activity's execution guard.
+func (e *Engine) guardOf(id core.ActivityID) cond.Expr {
+	if g, ok := e.guards[core.ActivityNode(id)]; ok {
+		return g
+	}
+	return cond.True()
+}
+
+// board is the shared event state; all fields are guarded by mu.
+type board struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	happened map[core.Point]int // point → event sequence number (0 = not yet)
+	skipped  map[core.ActivityID]bool
+	outcomes map[string]string // decision → branch or SkippedBranch
+	holders  []core.ActivityID // mutex id → holder ("" free)
+	seq      int
+	err      error
+	running  int
+	maxRun   int
+}
+
+// SkippedBranch is the outcome recorded for decisions eliminated by a
+// dead path; guard literals over them evaluate false.
+const SkippedBranch = "∅"
+
+func (b *board) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+}
+
+// released reports whether an edge no longer gates its target.
+func (b *board) released(e edgeRef) bool {
+	src := e.con.From.Node.Activity
+	if b.skipped[src] {
+		return true
+	}
+	return b.happened[e.con.From] > 0
+}
+
+// guardDecidable reports whether every decision in the guard has an
+// outcome.
+func (b *board) guardDecidable(g cond.Expr) bool {
+	for _, d := range g.Decisions() {
+		if _, ok := b.outcomes[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one instance. It returns the execution trace; on
+// executor failure or timeout the partial trace accompanies the error.
+func (e *Engine) Run(ctx context.Context) (*Trace, error) {
+	ctx, cancel := context.WithTimeout(ctx, e.opts.Timeout)
+	defer cancel()
+
+	b := &board{
+		happened: map[core.Point]int{},
+		skipped:  map[core.ActivityID]bool{},
+		outcomes: map[string]string{},
+		holders:  make([]core.ActivityID, e.nMutexes),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	vars := NewVars(e.opts.Inputs)
+	trace := newTrace(e.proc)
+
+	var wg sync.WaitGroup
+	for _, act := range e.proc.Activities() {
+		wg.Add(1)
+		go func(act *core.Activity) {
+			defer wg.Done()
+			e.runActivity(ctx, act, b, vars, trace)
+		}(act)
+	}
+
+	// Watchdog: wake sleepers when the context dies.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			b.mu.Lock()
+			b.fail(fmt.Errorf("schedule: %w; blocked activities: %v", ctx.Err(), e.blocked(b, trace)))
+			b.mu.Unlock()
+		case <-done:
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+
+	b.mu.Lock()
+	err := b.err
+	trace.MaxParallel = b.maxRun
+	b.mu.Unlock()
+	trace.finish(vars)
+	if err != nil {
+		return trace, err
+	}
+	return trace, nil
+}
+
+// blocked lists activities that neither finished nor were skipped;
+// callers hold b.mu.
+func (e *Engine) blocked(b *board, tr *Trace) []core.ActivityID {
+	var out []core.ActivityID
+	for _, a := range e.proc.Activities() {
+		if b.happened[core.PointOf(a.ID, core.Finish)] == 0 && !b.skipped[a.ID] {
+			out = append(out, a.ID)
+		}
+	}
+	return out
+}
+
+// runActivity is the per-activity goroutine.
+func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, vars *Vars, tr *Trace) {
+	guard := e.guardOf(act.ID)
+
+	// Partition incoming edges by gating state.
+	var startGate, finishGate []edgeRef
+	for _, ref := range e.inEdges[act.ID] {
+		if ref.toState == core.Finish {
+			finishGate = append(finishGate, ref)
+		} else {
+			startGate = append(startGate, ref)
+		}
+	}
+	allReleased := func(refs []edgeRef) bool {
+		for _, r := range refs {
+			if !b.released(r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Phase 1: wait until the guard is decidable; skip on false.
+	b.mu.Lock()
+	for b.err == nil && !b.guardDecidable(guard) {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		b.mu.Unlock()
+		return
+	}
+	if !guard.Eval(b.outcomes) {
+		b.skipped[act.ID] = true
+		if act.Kind == core.KindDecision {
+			b.outcomes[string(act.ID)] = SkippedBranch
+		}
+		b.seq++
+		tr.recordSkip(act.ID, b.seq)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+
+	// Phase 2: wait for the start gate and mutexes.
+	mutexIDs := e.mutexes[act.ID]
+	mutexesFree := func() bool {
+		for _, id := range mutexIDs {
+			if b.holders[id] != "" {
+				return false
+			}
+		}
+		return true
+	}
+	workerFree := func() bool {
+		return e.opts.Workers <= 0 || b.running < e.opts.Workers
+	}
+	for b.err == nil && (!allReleased(startGate) || !mutexesFree() || !workerFree()) {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		b.mu.Unlock()
+		return
+	}
+	for _, id := range mutexIDs {
+		b.holders[id] = act.ID
+	}
+	b.seq++
+	startSeq := b.seq
+	b.happened[core.PointOf(act.ID, core.Start)] = startSeq
+	b.happened[core.PointOf(act.ID, core.Run)] = startSeq
+	b.running++
+	if b.running > b.maxRun {
+		b.maxRun = b.running
+	}
+	tr.recordStart(act.ID, startSeq)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+
+	// Phase 3: execute outside the lock, retrying per policy.
+	var outcome Outcome
+	var execErr error
+	if ex, ok := e.execs[act.ID]; ok && ex != nil {
+		policy := e.opts.Retry[act.ID]
+		attempts := policy.MaxAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		for attempt := 1; attempt <= attempts; attempt++ {
+			outcome, execErr = ex(ctx, act, vars)
+			if execErr == nil {
+				break
+			}
+			if attempt < attempts {
+				tr.recordRetry(act.ID)
+				if policy.Backoff > 0 {
+					select {
+					case <-time.After(policy.Backoff):
+					case <-ctx.Done():
+					}
+				}
+				if ctx.Err() != nil {
+					break
+				}
+			}
+		}
+	}
+
+	b.mu.Lock()
+	b.running--
+	b.cond.Broadcast() // a worker slot freed up
+	if execErr != nil {
+		b.fail(fmt.Errorf("schedule: activity %s: %w", act.ID, execErr))
+		b.mu.Unlock()
+		return
+	}
+	if act.Kind == core.KindDecision {
+		branch := outcome.Branch
+		if branch == "" {
+			branch = act.BranchDomain()[0]
+		}
+		ok := false
+		for _, v := range act.BranchDomain() {
+			if v == branch {
+				ok = true
+			}
+		}
+		if !ok {
+			b.fail(fmt.Errorf("schedule: decision %s returned branch %q outside domain %v", act.ID, branch, act.BranchDomain()))
+			b.mu.Unlock()
+			return
+		}
+		outcome.Branch = branch
+	}
+
+	// Phase 4: wait for the finish gate, then publish finish, the
+	// decision outcome and mutex releases.
+	for b.err == nil && !allReleased(finishGate) {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	finSeq := b.seq
+	b.happened[core.PointOf(act.ID, core.Finish)] = finSeq
+	if act.Kind == core.KindDecision {
+		b.outcomes[string(act.ID)] = outcome.Branch
+	}
+	for _, id := range mutexIDs {
+		b.holders[id] = ""
+	}
+	tr.recordFinish(act.ID, finSeq, outcome.Branch)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+package schedule_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/schedule"
+)
+
+// ExampleEngine runs a fork–join process directly from its constraint
+// set: no sequencing constructs, just dependencies.
+func ExampleEngine() {
+	proc := core.NewProcess("forkjoin")
+	for _, id := range []core.ActivityID{"split", "left", "right", "join"} {
+		proc.MustAddActivity(&core.Activity{ID: id, Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(proc)
+	sc.Before("split", "left", core.Data)
+	sc.Before("split", "right", core.Data)
+	sc.Before("left", "join", core.Data)
+	sc.Before("right", "join", core.Data)
+
+	eng, err := schedule.New(sc, schedule.NoopExecutors(proc, time.Millisecond, nil), schedule.Options{})
+	if err != nil {
+		panic(err)
+	}
+	tr, err := eng.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		panic(err)
+	}
+	first := tr.Records()[0]
+	last := tr.Records()[len(tr.Records())-1]
+	fmt.Printf("first=%s last=%s executed=%d\n", first.Activity, last.Activity, len(tr.Executed()))
+	// Output:
+	// first=split last=join executed=4
+}

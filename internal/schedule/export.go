@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"dscweaver/internal/core"
+)
+
+// TraceJSON is the serialized form of a Trace: one record per
+// activity plus run-level summary fields. The format is stable and
+// consumed by external tooling (timeline viewers, CI comparisons).
+type TraceJSON struct {
+	Process     string            `json:"process"`
+	Began       time.Time         `json:"began"`
+	Ended       time.Time         `json:"ended"`
+	MakespanNS  int64             `json:"makespan_ns"`
+	MaxParallel int               `json:"max_parallel"`
+	Outcomes    map[string]string `json:"outcomes,omitempty"`
+	Records     []RecordJSON      `json:"records"`
+}
+
+// RecordJSON is one activity's serialized record.
+type RecordJSON struct {
+	Activity  string    `json:"activity"`
+	Skipped   bool      `json:"skipped,omitempty"`
+	Branch    string    `json:"branch,omitempty"`
+	Retries   int       `json:"retries,omitempty"`
+	StartSeq  int       `json:"start_seq"`
+	FinishSeq int       `json:"finish_seq"`
+	StartAt   time.Time `json:"start_at,omitempty"`
+	FinishAt  time.Time `json:"finish_at,omitempty"`
+}
+
+// MarshalJSON serializes the trace.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := TraceJSON{
+		Process:     t.Process,
+		Began:       t.Began,
+		Ended:       t.Ended,
+		MakespanNS:  int64(t.Makespan()),
+		MaxParallel: t.MaxParallel,
+		Outcomes:    t.Outcomes(),
+	}
+	for _, r := range t.Records() {
+		out.Records = append(out.Records, RecordJSON{
+			Activity: string(r.Activity), Skipped: r.Skipped, Branch: r.Branch, Retries: r.Retries,
+			StartSeq: r.StartSeq, FinishSeq: r.FinishSeq,
+			StartAt: r.StartAt, FinishAt: r.FinishAt,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// LoadTraceJSON parses a serialized trace back into a Trace usable
+// with Validate — replayed traces let CI compare schedules across
+// engine versions without re-executing.
+func LoadTraceJSON(data []byte) (*Trace, error) {
+	var in TraceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	t := &Trace{
+		records:     map[core.ActivityID]*Record{},
+		Process:     in.Process,
+		Began:       in.Began,
+		Ended:       in.Ended,
+		MaxParallel: in.MaxParallel,
+	}
+	for _, r := range in.Records {
+		id := core.ActivityID(r.Activity)
+		if _, dup := t.records[id]; dup {
+			return nil, fmt.Errorf("schedule: duplicate record for %s", r.Activity)
+		}
+		t.records[id] = &Record{
+			Activity: id, Skipped: r.Skipped, Branch: r.Branch, Retries: r.Retries,
+			StartSeq: r.StartSeq, FinishSeq: r.FinishSeq,
+			StartAt: r.StartAt, FinishAt: r.FinishAt,
+		}
+		t.order = append(t.order, id)
+	}
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := runPurchasing(t, true)
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"activity":"if_au"`) {
+		t.Errorf("serialized trace missing activity records:\n%.300s", data)
+	}
+	back, err := LoadTraceJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed trace still validates against the full ASC.
+	_, asc, _, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(asc, guards); err != nil {
+		t.Fatalf("replayed trace invalid: %v", err)
+	}
+	if back.MaxParallel != tr.MaxParallel {
+		t.Errorf("MaxParallel = %d, want %d", back.MaxParallel, tr.MaxParallel)
+	}
+	r1, _ := tr.Record(purchasing.IfAu)
+	r2, _ := back.Record(purchasing.IfAu)
+	if r1.Branch != r2.Branch || r1.StartSeq != r2.StartSeq {
+		t.Errorf("record drift: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestLoadTraceJSONErrors(t *testing.T) {
+	if _, err := LoadTraceJSON([]byte("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	dup := `{"records":[{"activity":"a","start_seq":1,"finish_seq":2},{"activity":"a","start_seq":3,"finish_seq":4}]}`
+	if _, err := LoadTraceJSON([]byte(dup)); err == nil {
+		t.Error("duplicate records accepted")
+	}
+}
+
+func TestTraceJSONDetectsTamperedOrder(t *testing.T) {
+	sc := chainSet(3)
+	e, err := New(sc, nil, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull a2's start before a1's finish: the replayed trace must
+	// fail validation.
+	tampered := strings.Replace(string(data), `"start_seq":5`, `"start_seq":1`, 1)
+	back, err := LoadTraceJSON([]byte(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(sc, nil); err == nil {
+		t.Error("tampered trace passed validation")
+	}
+}

@@ -1,0 +1,485 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+	"dscweaver/internal/services"
+)
+
+// chainSet builds a0 → a1 → … over opaque activities.
+func chainSet(n int) *core.ConstraintSet {
+	p := core.NewProcess("chain")
+	for i := 0; i < n; i++ {
+		p.MustAddActivity(&core.Activity{ID: core.ActivityID(fmt.Sprintf("a%d", i)), Kind: core.KindOpaque})
+	}
+	s := core.NewConstraintSet(p)
+	for i := 0; i+1 < n; i++ {
+		s.Before(core.ActivityID(fmt.Sprintf("a%d", i)), core.ActivityID(fmt.Sprintf("a%d", i+1)), core.Data)
+	}
+	return s
+}
+
+func TestChainRunsInOrder(t *testing.T) {
+	sc := chainSet(5)
+	e, err := New(sc, nil, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].FinishSeq >= recs[i].StartSeq {
+			t.Errorf("chain order violated: %v", recs)
+		}
+	}
+	if got := len(tr.Executed()); got != 5 {
+		t.Errorf("executed = %d, want 5", got)
+	}
+}
+
+func TestParallelismRealized(t *testing.T) {
+	// Ten unconstrained activities with real work must overlap.
+	p := core.NewProcess("par")
+	for i := 0; i < 10; i++ {
+		p.MustAddActivity(&core.Activity{ID: core.ActivityID(fmt.Sprintf("w%d", i)), Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(p)
+	e, err := New(sc, NoopExecutors(p, 20*time.Millisecond, nil), Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxParallel < 4 {
+		t.Errorf("MaxParallel = %d, want ≥ 4 for unconstrained activities", tr.MaxParallel)
+	}
+	if tr.Makespan() > 150*time.Millisecond {
+		t.Errorf("makespan = %v, want well under 10×20ms sequential time", tr.Makespan())
+	}
+}
+
+func TestChainLimitsParallelism(t *testing.T) {
+	sc := chainSet(6)
+	e, err := New(sc, NoopExecutors(sc.Proc, 5*time.Millisecond, nil), Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxParallel != 1 {
+		t.Errorf("MaxParallel = %d, want 1 on a chain", tr.MaxParallel)
+	}
+}
+
+func TestDeadPathElimination(t *testing.T) {
+	p := core.NewProcess("dpe")
+	p.MustAddActivity(&core.Activity{ID: "dec", Kind: core.KindDecision})
+	p.MustAddActivity(&core.Activity{ID: "t1", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "t2", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "join", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("dec", core.Finish),
+		To: core.PointOf("t1", core.Start), Cond: cond.Lit("dec", "T"), Origins: []core.Dimension{core.Control}})
+	sc.Before("t1", "t2", core.Data)
+	sc.Before("t2", "join", core.Data)
+	sc.Before("dec", "join", core.Cooperation)
+
+	// But t2 must also be guarded: its guard derives from control
+	// edges only, and it has none — add the control edge so the guard
+	// propagates (as merge of a full catalog would).
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("dec", core.Finish),
+		To: core.PointOf("t2", core.Start), Cond: cond.Lit("dec", "T"), Origins: []core.Dimension{core.Control}})
+
+	execs := NoopExecutors(p, 0, func(core.ActivityID) string { return "F" })
+	e, err := New(sc, execs, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	skipped := tr.SkippedActivities()
+	if len(skipped) != 2 {
+		t.Errorf("skipped = %v, want t1 and t2", skipped)
+	}
+	if r, _ := tr.Record("join"); r.Skipped {
+		t.Error("join was skipped despite unconditional guard")
+	}
+}
+
+func TestExclusiveNeverOverlaps(t *testing.T) {
+	p := core.NewProcess("excl")
+	p.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "b", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.Exclusive, From: core.PointOf("a", core.Run),
+		To: core.PointOf("b", core.Run), Cond: cond.True()})
+
+	var mu sync.Mutex
+	running := 0
+	maxRunning := 0
+	execs := map[core.ActivityID]Executor{}
+	for _, id := range []core.ActivityID{"a", "b"} {
+		execs[id] = func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error) {
+			mu.Lock()
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return Outcome{}, nil
+		}
+	}
+	for i := 0; i < 20; i++ {
+		e, err := New(sc, execs, Options{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(sc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if maxRunning != 1 {
+		t.Errorf("exclusive activities overlapped: max running = %d", maxRunning)
+	}
+}
+
+func TestStateLevelOverlapConstraint(t *testing.T) {
+	// S(survey) → F(close): the §3.2 collectSurvey/closeOrder pattern —
+	// closeOrder may not finish until collectSurvey has started.
+	p := core.NewProcess("overlap")
+	p.MustAddActivity(&core.Activity{ID: "close", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "survey", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("survey", core.Start),
+		To: core.PointOf("close", core.Finish), Cond: cond.True(), Origins: []core.Dimension{core.Cooperation}})
+	for i := 0; i < 10; i++ {
+		e, err := New(sc, NoopExecutors(p, time.Millisecond, nil), Options{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(sc, nil); err != nil {
+			t.Fatal(err)
+		}
+		cl, _ := tr.Record("close")
+		sv, _ := tr.Record("survey")
+		if cl.FinishSeq < sv.StartSeq {
+			t.Fatalf("close finished (%d) before survey started (%d)", cl.FinishSeq, sv.StartSeq)
+		}
+	}
+}
+
+func TestTimeoutReportsBlocked(t *testing.T) {
+	// A receive-like executor that never completes, to exercise the
+	// watchdog path.
+	p := core.NewProcess("stuck")
+	p.MustAddActivity(&core.Activity{ID: "waiter", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	execs := map[core.ActivityID]Executor{
+		"waiter": func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error) {
+			<-ctx.Done()
+			return Outcome{}, ctx.Err()
+		},
+	}
+	e, err := New(sc, execs, Options{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "waiter") {
+		t.Errorf("err = %v, want blocked-activity diagnostic", err)
+	}
+}
+
+func TestRetryPostponesDependents(t *testing.T) {
+	// §3.2: an exception at invProduction_ss postpones replyClient_oi
+	// until fixed. Modeled as prod → reply with prod failing twice
+	// before succeeding under a retry policy.
+	p := core.NewProcess("retry")
+	p.MustAddActivity(&core.Activity{ID: "prod", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "reply", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Before("prod", "reply", core.Cooperation)
+
+	failures := 2
+	execs := map[core.ActivityID]Executor{
+		"prod": func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error) {
+			if failures > 0 {
+				failures--
+				return Outcome{}, errors.New("production exception")
+			}
+			return Outcome{}, nil
+		},
+	}
+	e, err := New(sc, execs, Options{
+		Timeout: 5 * time.Second,
+		Retry:   map[core.ActivityID]RetryPolicy{"prod": {MaxAttempts: 3, Backoff: time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run failed despite retry budget: %v", err)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := tr.Record("prod")
+	if prod.Retries != 2 {
+		t.Errorf("retries = %d, want 2", prod.Retries)
+	}
+	reply, _ := tr.Record("reply")
+	if reply.StartSeq < prod.FinishSeq {
+		t.Error("reply not postponed past the recovered activity")
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	p := core.NewProcess("exhaust")
+	p.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	boom := errors.New("permanent")
+	execs := map[core.ActivityID]Executor{
+		"a": func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error) {
+			return Outcome{}, boom
+		},
+	}
+	e, err := New(sc, execs, Options{
+		Timeout: time.Second,
+		Retry:   map[core.ActivityID]RetryPolicy{"a": {MaxAttempts: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the permanent failure after 3 attempts", err)
+	}
+}
+
+func TestExecutorErrorPropagates(t *testing.T) {
+	sc := chainSet(3)
+	boom := errors.New("boom")
+	execs := map[core.ActivityID]Executor{
+		"a1": func(ctx context.Context, act *core.Activity, vars *Vars) (Outcome, error) {
+			return Outcome{}, boom
+		},
+	}
+	e, err := New(sc, execs, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestInvalidBranchRejected(t *testing.T) {
+	p := core.NewProcess("badbranch")
+	p.MustAddActivity(&core.Activity{ID: "dec", Kind: core.KindDecision})
+	sc := core.NewConstraintSet(p)
+	execs := NoopExecutors(p, 0, func(core.ActivityID) string { return "MAYBE" })
+	e, err := New(sc, execs, Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "outside domain") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewRejectsCycles(t *testing.T) {
+	p := core.NewProcess("cycle")
+	p.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "b", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Before("a", "b", core.Data)
+	sc.Before("b", "a", core.Data)
+	if _, err := New(sc, nil, Options{}); err == nil {
+		t.Error("New accepted a cyclic constraint set")
+	}
+}
+
+func TestNewRejectsServiceNodesAndHappenTogether(t *testing.T) {
+	p := core.NewProcess("bad")
+	p.MustAddService(&core.Service{Name: "S", Ports: []string{"1"}})
+	p.MustAddActivity(&core.Activity{ID: "a", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("a", core.Finish),
+		To: core.Point{Node: core.ServiceNode("S", "1"), State: core.Start}, Cond: cond.True()})
+	if _, err := New(sc, nil, Options{}); err == nil {
+		t.Error("New accepted external nodes")
+	}
+	sc2 := core.NewConstraintSet(p)
+	sc2.Add(core.Constraint{Rel: core.HappenTogether, From: core.PointOf("a", core.Finish),
+		To: core.PointOf("a", core.Start), Cond: cond.True()})
+	if _, err := New(sc2, nil, Options{}); err == nil {
+		t.Error("New accepted HappenTogether")
+	}
+}
+
+// --- purchasing end-to-end ---
+
+// runPurchasing executes the minimal constraint set against the
+// simulated services and returns the trace.
+func runPurchasing(t *testing.T, approve bool) *Trace {
+	t.Helper()
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := services.NewBus(0)
+	if err := services.RegisterPurchasing(bus, time.Millisecond, approve); err != nil {
+		t.Fatal(err)
+	}
+	binding := NewBinding(bus)
+	// Per-activity work makes the parallel subprocesses overlap
+	// reliably, so MaxParallel reflects real concurrency.
+	execs := binding.Executors(asc.Proc, 2*time.Millisecond)
+	e, err := New(res.Minimal, execs, Options{
+		Timeout: 10 * time.Second,
+		Guards:  guards,
+		Inputs:  map[string]any{"po": "po-42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr)
+	}
+	bus.Close()
+	binding.Close()
+	if err := tr.Validate(asc, guards); err != nil {
+		t.Fatalf("trace violates the full ASC: %v\n%s", err, tr)
+	}
+	_, faults := bus.Stats()
+	if faults != 0 {
+		t.Fatalf("bus recorded %d faults", faults)
+	}
+	return tr
+}
+
+func TestPurchasingApprovedEndToEnd(t *testing.T) {
+	tr := runPurchasing(t, true)
+	if skipped := tr.SkippedActivities(); len(skipped) != 1 || skipped[0] != purchasing.SetOi {
+		t.Errorf("skipped = %v, want only set_oi", skipped)
+	}
+	oi, ok := tr.FinalVars["oi"]
+	if !ok || !strings.Contains(fmt.Sprint(oi), "invoice") {
+		t.Errorf("final oi = %v", oi)
+	}
+	// The minimal set still realizes parallelism across subprocesses.
+	if tr.MaxParallel < 2 {
+		t.Errorf("MaxParallel = %d, want ≥ 2", tr.MaxParallel)
+	}
+}
+
+func TestPurchasingDeclinedEndToEnd(t *testing.T) {
+	tr := runPurchasing(t, false)
+	// The entire T branch is dead: 8 activities skipped.
+	if skipped := tr.SkippedActivities(); len(skipped) != 8 {
+		t.Errorf("skipped = %v, want the 8 T-branch activities", skipped)
+	}
+	if r, _ := tr.Record(purchasing.SetOi); r == nil || r.Skipped {
+		t.Error("set_oi did not run on the F branch")
+	}
+	if r, _ := tr.Record(purchasing.ReplyClientOi); r == nil || r.Skipped {
+		t.Error("replyClient_oi did not run")
+	}
+}
+
+func TestPurchasingWithoutServiceConstraintViolatesConversation(t *testing.T) {
+	// Drop the service-derived invPurchase_po → invPurchase_si
+	// constraint (the paper's Purchase₁ →s Purchase₂) and force the
+	// scheduler into the bad interleaving by making port-1 invocation
+	// slow: the state-aware Purchase service then sees the shipping
+	// invoice first and fails the conversation. This is §3.2's
+	// motivation for the service dimension, demonstrated end to end.
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := core.NewConstraintSet(res.Minimal.Proc)
+	for _, c := range res.Minimal.Constraints() {
+		if c.From.Node.Activity == purchasing.InvPurchasePo && c.To.Node.Activity == purchasing.InvPurchaseSi {
+			continue
+		}
+		broken.Add(c)
+	}
+
+	bus := services.NewBus(0)
+	if err := services.RegisterPurchasing(bus, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	binding := NewBinding(bus)
+	execs := binding.Executors(asc.Proc, 0)
+	// Delay the port-1 invocation so port 2 reliably overtakes it.
+	slow := execs[purchasing.InvPurchasePo]
+	execs[purchasing.InvPurchasePo] = func(ctx context.Context, a *core.Activity, vars *Vars) (Outcome, error) {
+		time.Sleep(30 * time.Millisecond)
+		return slow(ctx, a, vars)
+	}
+	e, err := New(broken, execs, Options{
+		Timeout: 5 * time.Second,
+		Guards:  guards,
+		Inputs:  map[string]any{"po": "po-42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := e.Run(context.Background())
+	bus.Close()
+	binding.Close()
+	_, faults := bus.Stats()
+	if runErr == nil && faults == 0 {
+		t.Fatal("dropping the service constraint did not surface a conversation failure")
+	}
+	if runErr != nil && !errors.Is(runErr, services.ErrOutOfOrder) && faults == 0 {
+		t.Errorf("unexpected error kind: %v", runErr)
+	}
+}

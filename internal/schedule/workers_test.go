@@ -1,0 +1,116 @@
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+)
+
+func TestWorkersCapParallelism(t *testing.T) {
+	p := core.NewProcess("capped")
+	for i := 0; i < 8; i++ {
+		p.MustAddActivity(&core.Activity{ID: core.ActivityID(fmt.Sprintf("w%d", i)), Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(p)
+	for _, workers := range []int{1, 2, 4} {
+		e, err := New(sc, NoopExecutors(p, 5*time.Millisecond, nil), Options{
+			Timeout: 30 * time.Second,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.MaxParallel > workers {
+			t.Errorf("workers=%d: MaxParallel = %d", workers, tr.MaxParallel)
+		}
+		if err := tr.Validate(sc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWorkersMakespanScales(t *testing.T) {
+	// 8 independent 10ms activities: 1 worker ≈ 80ms, 8 workers ≈ 10ms.
+	p := core.NewProcess("scal")
+	for i := 0; i < 8; i++ {
+		p.MustAddActivity(&core.Activity{ID: core.ActivityID(fmt.Sprintf("w%d", i)), Kind: core.KindOpaque})
+	}
+	sc := core.NewConstraintSet(p)
+	run := func(workers int) time.Duration {
+		e, err := New(sc, NoopExecutors(p, 10*time.Millisecond, nil), Options{
+			Timeout: 30 * time.Second, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Makespan()
+	}
+	serial := run(1)
+	wide := run(8)
+	if serial < 3*wide {
+		t.Errorf("1 worker %v vs 8 workers %v: expected ≥ 3× separation", serial, wide)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	sc := chainSet(3)
+	e, err := New(sc, nil, Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Gantt()
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt rows = %d:\n%s", len(lines), g)
+	}
+	// Chain: each row's '#' block starts after the previous one ends.
+	prevEnd := -1
+	for _, line := range lines {
+		start := strings.IndexByte(line, '#')
+		end := strings.LastIndexByte(line, '#')
+		if start < 0 {
+			t.Fatalf("row without execution: %q", line)
+		}
+		if start <= prevEnd {
+			t.Errorf("gantt rows overlap on a chain:\n%s", g)
+		}
+		prevEnd = end
+	}
+}
+
+func TestGanttMarksSkipped(t *testing.T) {
+	p := core.NewProcess("skip")
+	p.MustAddActivity(&core.Activity{ID: "dec", Kind: core.KindDecision})
+	p.MustAddActivity(&core.Activity{ID: "dead", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("dec", core.Finish),
+		To: core.PointOf("dead", core.Start), Cond: cond.Lit("dec", "T"), Origins: []core.Dimension{core.Control}})
+	e, err := New(sc, NoopExecutors(p, 0, func(core.ActivityID) string { return "F" }), Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Gantt(), "x") {
+		t.Errorf("skipped activity not marked:\n%s", tr.Gantt())
+	}
+}

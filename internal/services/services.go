@@ -1,0 +1,268 @@
+// Package services simulates the remote web services a business
+// process integrates — the substitution for the paper's Credit,
+// Purchase, Ship and Production BPEL services (see DESIGN.md).
+//
+// A Bus hosts named services. Each service runs as a single goroutine
+// consuming invocations in arrival order — the state-machine model of
+// §3.2's "the execution of a service has a side effect on other
+// invocations". Invocations are asynchronous: Invoke returns
+// immediately and replies surface later as Callback values on the
+// bus's inbox channel, matching the paper's assumption that "all
+// service interactions are asynchronous".
+//
+// Two behaviors make the simulation exercise the paper's code paths:
+//
+//   - Sequential services (the state-aware Purchase service) verify
+//     that their ports are invoked in declaration order and fail the
+//     conversation otherwise — exactly the constraint the service
+//     dependency Purchase₁ →s Purchase₂ exists to protect.
+//   - Fault injection (FailOn, per-port latency) lets tests drive the
+//     cooperation-dependency scenarios (§3.2's "if an exception occurs
+//     at invProduction_ss, the execution of replyClient_oi is
+//     postponed").
+package services
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Call is one invocation as seen by a service handler.
+type Call struct {
+	// Port is the invoked port.
+	Port string
+	// Payload is the invocation payload.
+	Payload any
+	// State is the service's private state, preserved across calls —
+	// this is what makes a service "state-aware".
+	State map[string]any
+	// Seq is the 1-based arrival index of this call at the service.
+	Seq int
+}
+
+// Emit is one asynchronous reply produced by a handler. Tag routes the
+// callback to the process-side receive activity (by convention the
+// variable the receive writes, e.g. "si" and "ss" for the Ship
+// service's two replies).
+type Emit struct {
+	Tag     string
+	Payload any
+}
+
+// Callback is an asynchronous message from a service to the process.
+type Callback struct {
+	Service string
+	Tag     string
+	Payload any
+	// Err carries a conversation failure: an injected fault or a
+	// sequential-port violation.
+	Err error
+}
+
+// Handler computes a service's reaction to a call.
+type Handler func(c *Call) ([]Emit, error)
+
+// Config declares a service.
+type Config struct {
+	Name string
+	// Ports lists the invocable ports in the order a sequential
+	// service requires.
+	Ports []string
+	// Sequential makes the service verify in-order port invocation.
+	Sequential bool
+	// Latency is simulated processing time per invocation.
+	Latency time.Duration
+	// PortLatency overrides Latency for specific ports.
+	PortLatency map[string]time.Duration
+	// Handle computes replies; nil behaves as a sink (no callbacks).
+	Handle Handler
+	// FailOn injects a fault: invocations of the listed ports fail
+	// with the given error.
+	FailOn map[string]error
+	// FailFirst injects transient faults: the first k invocations of a
+	// port fail with ErrTransient, later ones succeed — the "exception
+	// … until the exception is fixed" scenario of §3.2.
+	FailFirst map[string]int
+}
+
+// ErrTransient is the error FailFirst faults wrap.
+var ErrTransient = fmt.Errorf("transient service fault")
+
+// ErrOutOfOrder is wrapped by the conversation failure a sequential
+// service raises when its ports are invoked out of order — the
+// exception the paper's state-aware Purchase service would produce.
+var ErrOutOfOrder = fmt.Errorf("port invoked out of declaration order")
+
+type invocation struct {
+	port    string
+	payload any
+}
+
+type service struct {
+	cfg     Config
+	in      chan invocation
+	portIdx map[string]int
+}
+
+// Bus hosts services and delivers their callbacks to the process.
+type Bus struct {
+	mu       sync.Mutex
+	services map[string]*service
+	inbox    chan Callback
+	wg       sync.WaitGroup
+	closed   bool
+
+	statsMu   sync.Mutex
+	delivered int
+	faults    int
+}
+
+// NewBus returns a bus with the given inbox capacity (default 256 when
+// zero or negative).
+func NewBus(inboxCap int) *Bus {
+	if inboxCap <= 0 {
+		inboxCap = 256
+	}
+	return &Bus{
+		services: map[string]*service{},
+		inbox:    make(chan Callback, inboxCap),
+	}
+}
+
+// Register adds a service and starts its goroutine.
+func (b *Bus) Register(cfg Config) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("services: bus closed")
+	}
+	if cfg.Name == "" {
+		return fmt.Errorf("services: service without a name")
+	}
+	if _, dup := b.services[cfg.Name]; dup {
+		return fmt.Errorf("services: duplicate service %s", cfg.Name)
+	}
+	s := &service{
+		cfg:     cfg,
+		in:      make(chan invocation, 64),
+		portIdx: map[string]int{},
+	}
+	for i, p := range cfg.Ports {
+		s.portIdx[p] = i
+	}
+	b.services[cfg.Name] = s
+	b.wg.Add(1)
+	go b.run(s)
+	return nil
+}
+
+// run is the service goroutine: a sequential state machine.
+func (b *Bus) run(s *service) {
+	defer b.wg.Done()
+	state := map[string]any{}
+	next := 0 // next expected port index for sequential services
+	seq := 0
+	portCalls := map[string]int{} // per-port invocation counts for FailFirst
+	for inv := range s.in {
+		seq++
+		latency := s.cfg.Latency
+		if d, ok := s.cfg.PortLatency[inv.port]; ok {
+			latency = d
+		}
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if err, ok := s.cfg.FailOn[inv.port]; ok && err != nil {
+			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: fmt.Errorf("services: %s.%s: %w", s.cfg.Name, inv.port, err)})
+			continue
+		}
+		if k := s.cfg.FailFirst[inv.port]; k > 0 && portCalls[inv.port] < k {
+			portCalls[inv.port]++
+			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port,
+				Err: fmt.Errorf("services: %s.%s attempt %d: %w", s.cfg.Name, inv.port, portCalls[inv.port], ErrTransient)})
+			continue
+		}
+		portCalls[inv.port]++
+		if s.cfg.Sequential {
+			idx, known := s.portIdx[inv.port]
+			if known {
+				if idx != next {
+					b.deliver(Callback{
+						Service: s.cfg.Name, Tag: inv.port,
+						Err: fmt.Errorf("services: %s.%s arrived before port %s: %w",
+							s.cfg.Name, inv.port, s.cfg.Ports[next], ErrOutOfOrder),
+					})
+					continue
+				}
+				next++
+			}
+		}
+		if s.cfg.Handle == nil {
+			continue
+		}
+		emits, err := s.cfg.Handle(&Call{Port: inv.port, Payload: inv.payload, State: state, Seq: seq})
+		if err != nil {
+			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: err})
+			continue
+		}
+		for _, e := range emits {
+			b.deliver(Callback{Service: s.cfg.Name, Tag: e.Tag, Payload: e.Payload})
+		}
+	}
+}
+
+func (b *Bus) deliver(cb Callback) {
+	b.statsMu.Lock()
+	b.delivered++
+	if cb.Err != nil {
+		b.faults++
+	}
+	b.statsMu.Unlock()
+	b.inbox <- cb
+}
+
+// Invoke sends an asynchronous message to a service port. It returns
+// an error only for unknown services — delivery problems surface as
+// callbacks, like a real asynchronous fabric.
+func (b *Bus) Invoke(serviceName, port string, payload any) error {
+	b.mu.Lock()
+	s, ok := b.services[serviceName]
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return fmt.Errorf("services: bus closed")
+	}
+	if !ok {
+		return fmt.Errorf("services: unknown service %s", serviceName)
+	}
+	s.in <- invocation{port: port, payload: payload}
+	return nil
+}
+
+// Inbox returns the process-side callback channel.
+func (b *Bus) Inbox() <-chan Callback { return b.inbox }
+
+// Stats reports delivered callbacks and faults so far.
+func (b *Bus) Stats() (delivered, faults int) {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.delivered, b.faults
+}
+
+// Close shuts the service goroutines down and closes the inbox after
+// all pending work drains.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	for _, s := range b.services {
+		close(s.in)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	close(b.inbox)
+}

@@ -1,0 +1,297 @@
+package services
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// collect drains n callbacks with a timeout.
+func collect(t *testing.T, b *Bus, n int) []Callback {
+	t.Helper()
+	var out []Callback
+	timeout := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case cb, ok := <-b.Inbox():
+			if !ok {
+				t.Fatalf("inbox closed after %d callbacks, want %d", len(out), n)
+			}
+			out = append(out, cb)
+		case <-timeout:
+			t.Fatalf("timeout after %d callbacks, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestEchoService(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Echo", Ports: []string{"1"},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "out", Payload: c.Payload}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Invoke("Echo", "1", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	cb := collect(t, b, 1)[0]
+	if cb.Service != "Echo" || cb.Tag != "out" || cb.Payload != "hello" || cb.Err != nil {
+		t.Errorf("callback = %+v", cb)
+	}
+}
+
+func TestUnknownService(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if err := b.Invoke("Ghost", "1", nil); err == nil {
+		t.Error("Invoke on unknown service succeeded")
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if err := b.Register(Config{Name: "S"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Config{Name: "S"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := b.Register(Config{}); err == nil {
+		t.Error("unnamed registration accepted")
+	}
+}
+
+func TestStatePersistsAcrossCalls(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Counter", Ports: []string{"1"},
+		Handle: func(c *Call) ([]Emit, error) {
+			n, _ := c.State["n"].(int)
+			n++
+			c.State["n"] = n
+			return []Emit{{Tag: "n", Payload: n}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Invoke("Counter", "1", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cbs := collect(t, b, 3)
+	if cbs[2].Payload != 3 {
+		t.Errorf("state not preserved: third callback = %+v", cbs[2])
+	}
+}
+
+func TestSequentialPortViolation(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Seq", Ports: []string{"1", "2"}, Sequential: true,
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "ok", Payload: c.Port}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 2 first: conversation failure.
+	if err := b.Invoke("Seq", "2", nil); err != nil {
+		t.Fatal(err)
+	}
+	cb := collect(t, b, 1)[0]
+	if cb.Err == nil || !errors.Is(cb.Err, ErrOutOfOrder) {
+		t.Fatalf("callback = %+v, want ErrOutOfOrder", cb)
+	}
+	_, faults := b.Stats()
+	if faults != 1 {
+		t.Errorf("faults = %d, want 1", faults)
+	}
+}
+
+func TestSequentialPortsInOrder(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Seq", Ports: []string{"1", "2"}, Sequential: true,
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "ok", Payload: c.Port}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("Seq", "1", nil)
+	b.Invoke("Seq", "2", nil)
+	cbs := collect(t, b, 2)
+	for _, cb := range cbs {
+		if cb.Err != nil {
+			t.Errorf("unexpected fault: %v", cb.Err)
+		}
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	boom := errors.New("boom")
+	err := b.Register(Config{
+		Name: "Flaky", Ports: []string{"1"},
+		FailOn: map[string]error{"1": boom},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("Flaky", "1", nil)
+	cb := collect(t, b, 1)[0]
+	if cb.Err == nil || !errors.Is(cb.Err, boom) {
+		t.Errorf("callback = %+v, want injected fault", cb)
+	}
+}
+
+func TestFailFirstTransientFaults(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Flaky", Ports: []string{"1"},
+		FailFirst: map[string]int{"1": 2},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "ok", Payload: c.Payload}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.Invoke("Flaky", "1", i)
+	}
+	cbs := collect(t, b, 3)
+	if !errors.Is(cbs[0].Err, ErrTransient) || !errors.Is(cbs[1].Err, ErrTransient) {
+		t.Errorf("first two calls should fail transiently: %+v %+v", cbs[0], cbs[1])
+	}
+	if cbs[2].Err != nil || cbs[2].Tag != "ok" {
+		t.Errorf("third call should succeed: %+v", cbs[2])
+	}
+}
+
+func TestCloseDrainsAndCloses(t *testing.T) {
+	b := NewBus(0)
+	err := b.Register(Config{
+		Name: "S", Ports: []string{"1"},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "x", Payload: nil}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("S", "1", nil)
+	b.Close()
+	// Pending callback still delivered, then channel closes.
+	n := 0
+	for range b.Inbox() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("callbacks after close = %d, want 1", n)
+	}
+	if err := b.Invoke("S", "1", nil); err == nil {
+		t.Error("Invoke after close succeeded")
+	}
+	b.Close() // idempotent
+}
+
+func TestPortLatencyOverride(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "Slow", Ports: []string{"fast", "slow"},
+		Latency:     time.Millisecond,
+		PortLatency: map[string]time.Duration{"slow": 30 * time.Millisecond},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: c.Port, Payload: time.Now()}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	b.Invoke("Slow", "slow", nil)
+	cb := collect(t, b, 1)[0]
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("slow port answered in %v, want ≥ 25ms", elapsed)
+	}
+	if cb.Tag != "slow" {
+		t.Errorf("tag = %q", cb.Tag)
+	}
+}
+
+func TestPurchasingServicesHappyPath(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if err := RegisterPurchasing(b, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("Credit", "1", "po1")
+	if cb := collect(t, b, 1)[0]; cb.Tag != "au" || cb.Payload != "T" {
+		t.Errorf("credit callback = %+v", cb)
+	}
+	b.Invoke("Ship", "1", "po1")
+	cbs := collect(t, b, 2)
+	tags := map[string]bool{}
+	for _, cb := range cbs {
+		tags[cb.Tag] = true
+	}
+	if !tags["si"] || !tags["ss"] {
+		t.Errorf("ship callbacks = %v", cbs)
+	}
+	b.Invoke("Purchase", "1", "po1")
+	b.Invoke("Purchase", "2", "si1")
+	if cb := collect(t, b, 1)[0]; cb.Tag != "oi" || cb.Err != nil {
+		t.Errorf("purchase callback = %+v", cb)
+	}
+	b.Invoke("Production", "1", "po1")
+	b.Invoke("Production", "2", "ss1")
+	delivered, faults := b.Stats()
+	if faults != 0 {
+		t.Errorf("faults = %d (delivered %d)", faults, delivered)
+	}
+}
+
+func TestPurchasingDecline(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if err := RegisterPurchasing(b, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("Credit", "1", "po1")
+	if cb := collect(t, b, 1)[0]; cb.Payload != "F" {
+		t.Errorf("credit decline callback = %+v", cb)
+	}
+}
+
+func TestPurchaseOutOfOrderIsConversationFailure(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if err := RegisterPurchasing(b, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	// The scenario the Purchase₁ →s Purchase₂ dependency prevents:
+	// shipping invoice before purchase order.
+	b.Invoke("Purchase", "2", "si1")
+	cb := collect(t, b, 1)[0]
+	if cb.Err == nil || !errors.Is(cb.Err, ErrOutOfOrder) {
+		t.Errorf("callback = %+v, want out-of-order failure", cb)
+	}
+}

@@ -1,0 +1,92 @@
+package wscl
+
+// The WSCL conversation documents of the Purchasing process's four
+// services (§2). These are the inputs the paper assumes the services
+// publish; the tests check that parsing them and joining them against
+// the process reproduces the 15 service rows of Table 1.
+
+// CreditWSCL describes the Credit service: one invocable port with an
+// asynchronous authorization callback.
+const CreditWSCL = `<?xml version="1.0"?>
+<Conversation name="Credit" initialInteraction="1">
+  <ConversationInteractions>
+    <Interaction id="1" interactionType="Receive" document="PurchaseOrder"/>
+    <Interaction id="d" interactionType="Send" document="CreditAuthorization"/>
+  </ConversationInteractions>
+  <ConversationTransitions>
+    <Transition>
+      <SourceInteraction href="1"/>
+      <DestinationInteraction href="d"/>
+    </Transition>
+  </ConversationTransitions>
+</Conversation>
+`
+
+// PurchaseWSCL describes the state-aware Purchase service: two ports
+// that must be invoked in order (the purchase order must arrive before
+// the shipping invoice), then an asynchronous order-invoice callback.
+const PurchaseWSCL = `<?xml version="1.0"?>
+<Conversation name="Purchase" initialInteraction="1">
+  <ConversationInteractions>
+    <Interaction id="1" interactionType="Receive" document="PurchaseOrder"/>
+    <Interaction id="2" interactionType="Receive" document="ShippingInvoice"/>
+    <Interaction id="d" interactionType="Send" document="OrderInvoice"/>
+  </ConversationInteractions>
+  <ConversationTransitions>
+    <Transition>
+      <SourceInteraction href="1"/>
+      <DestinationInteraction href="2"/>
+    </Transition>
+    <Transition>
+      <SourceInteraction href="1"/>
+      <DestinationInteraction href="d"/>
+    </Transition>
+    <Transition>
+      <SourceInteraction href="2"/>
+      <DestinationInteraction href="d"/>
+    </Transition>
+  </ConversationTransitions>
+</Conversation>
+`
+
+// ShipWSCL describes the Ship service: one port, with shipping invoice
+// and shipping schedule sent back asynchronously.
+const ShipWSCL = `<?xml version="1.0"?>
+<Conversation name="Ship" initialInteraction="1">
+  <ConversationInteractions>
+    <Interaction id="1" interactionType="Receive" document="PurchaseOrder"/>
+    <Interaction id="d" interactionType="Send" document="ShippingInvoiceAndSchedule"/>
+  </ConversationInteractions>
+  <ConversationTransitions>
+    <Transition>
+      <SourceInteraction href="1"/>
+      <DestinationInteraction href="d"/>
+    </Transition>
+  </ConversationTransitions>
+</Conversation>
+`
+
+// ProductionWSCL describes the Production service: two independent
+// fire-and-forget ports, no callback, no ordering.
+const ProductionWSCL = `<?xml version="1.0"?>
+<Conversation name="Production">
+  <ConversationInteractions>
+    <Interaction id="1" interactionType="Receive" document="PurchaseOrder"/>
+    <Interaction id="2" interactionType="Receive" document="ShippingSchedule"/>
+  </ConversationInteractions>
+  <ConversationTransitions/>
+</Conversation>
+`
+
+// PurchasingConversations parses the four fixture documents.
+func PurchasingConversations() ([]*Conversation, error) {
+	var out []*Conversation
+	for _, src := range []string{CreditWSCL, PurchaseWSCL, ShipWSCL, ProductionWSCL} {
+		c, err := Parse([]byte(src))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+// Package wscl reads Web Services Conversation Language documents and
+// infers service dependencies from them — the paper's §3.2: "service
+// dependency information is likely to be found in standard description
+// documents like WSCL that specifies the XML documents being
+// exchanged, and the allowed sequencing of these document exchanges."
+//
+// The dialect implemented here follows WSCL 1.0's structure —
+// interactions plus transitions — with one convention: an interaction's
+// id names the service port it represents. Receive-type interactions
+// are invocable ports (the service receives the process's message);
+// Send-type interactions are callback emissions, which surface to the
+// process as the dummy port s_d. A transition between two interactions
+// declares a sequencing constraint between the corresponding ports.
+//
+// From a conversation, Service derives the core.Service declaration
+// (port list, asynchrony, sequential-port requirement) and
+// Dependencies derives the →s rows of the process's dependency catalog
+// by joining the conversation against the process's invoke/receive
+// activities (§3.3, Table 1's service block).
+package wscl
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"dscweaver/internal/core"
+)
+
+// Conversation is the document root.
+type Conversation struct {
+	XMLName            xml.Name      `xml:"Conversation"`
+	Name               string        `xml:"name,attr"`
+	InitialInteraction string        `xml:"initialInteraction,attr,omitempty"`
+	Interactions       []Interaction `xml:"ConversationInteractions>Interaction"`
+	Transitions        []Transition  `xml:"ConversationTransitions>Transition"`
+}
+
+// Interaction is one document exchange of the conversation. Its ID
+// names the service port.
+type Interaction struct {
+	ID   string `xml:"id,attr"`
+	Type string `xml:"interactionType,attr"` // "Receive" | "Send"
+	// Document names the XML document type exchanged (informational).
+	Document string `xml:"document,attr,omitempty"`
+}
+
+// Transition orders two interactions.
+type Transition struct {
+	Source      Ref `xml:"SourceInteraction"`
+	Destination Ref `xml:"DestinationInteraction"`
+}
+
+// Ref references an interaction by href.
+type Ref struct {
+	Href string `xml:"href,attr"`
+}
+
+// Parse reads a WSCL document.
+func Parse(data []byte) (*Conversation, error) {
+	var c Conversation
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("wscl: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func (c *Conversation) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("wscl: conversation without a name")
+	}
+	seen := map[string]string{}
+	for _, i := range c.Interactions {
+		if i.ID == "" {
+			return fmt.Errorf("wscl: %s: interaction without id", c.Name)
+		}
+		if _, dup := seen[i.ID]; dup {
+			return fmt.Errorf("wscl: %s: duplicate interaction %q", c.Name, i.ID)
+		}
+		if i.Type != "Receive" && i.Type != "Send" {
+			return fmt.Errorf("wscl: %s: interaction %q has unsupported type %q", c.Name, i.ID, i.Type)
+		}
+		if i.Type == "Send" && i.ID != core.DummyPort {
+			return fmt.Errorf("wscl: %s: Send interaction must use the dummy port id %q, got %q", c.Name, core.DummyPort, i.ID)
+		}
+		seen[i.ID] = i.Type
+	}
+	for _, t := range c.Transitions {
+		for _, ref := range []string{t.Source.Href, t.Destination.Href} {
+			if _, ok := seen[ref]; !ok {
+				return fmt.Errorf("wscl: %s: transition references unknown interaction %q", c.Name, ref)
+			}
+		}
+		if t.Source.Href == t.Destination.Href {
+			return fmt.Errorf("wscl: %s: reflexive transition on %q", c.Name, t.Source.Href)
+		}
+	}
+	return nil
+}
+
+// Service derives the core service declaration: the Receive
+// interactions become the port list (declaration order), a Send
+// interaction makes the service asynchronous, and a transition between
+// two Receive ports marks the service state-aware (sequential ports).
+func (c *Conversation) Service() *core.Service {
+	s := &core.Service{Name: c.Name}
+	recv := map[string]bool{}
+	for _, i := range c.Interactions {
+		switch i.Type {
+		case "Receive":
+			s.Ports = append(s.Ports, i.ID)
+			recv[i.ID] = true
+		case "Send":
+			s.Async = true
+		}
+	}
+	for _, t := range c.Transitions {
+		if recv[t.Source.Href] && recv[t.Destination.Href] {
+			s.SequentialPorts = true
+		}
+	}
+	return s
+}
+
+// Dependencies derives the →s dependency rows contributed by the
+// conversation, joined against the process's activities:
+//
+//   - every transition src → dst yields S.src →s S.dst;
+//   - every invoke activity targeting a port of S yields act →s S.port;
+//   - every receive activity on S's dummy port yields S.d →s act.
+//
+// The label records the conversation name for provenance.
+func (c *Conversation) Dependencies(proc *core.Process) (*core.DependencySet, error) {
+	if _, ok := proc.Service(c.Name); !ok {
+		return nil, fmt.Errorf("wscl: process %s does not declare service %s", proc.Name, c.Name)
+	}
+	deps := core.NewDependencySet()
+	label := "wscl:" + c.Name
+	for _, t := range c.Transitions {
+		deps.Add(core.Dependency{
+			From:  core.ServiceNode(c.Name, t.Source.Href),
+			To:    core.ServiceNode(c.Name, t.Destination.Href),
+			Dim:   core.ServiceDim,
+			Label: label,
+		})
+	}
+	for _, a := range proc.Activities() {
+		if a.Service != c.Name {
+			continue
+		}
+		switch a.Kind {
+		case core.KindInvoke:
+			deps.Add(core.Dependency{
+				From:  core.ActivityNode(a.ID),
+				To:    core.ServiceNode(c.Name, a.Port),
+				Dim:   core.ServiceDim,
+				Label: label,
+			})
+		case core.KindReceive:
+			if a.Port == core.DummyPort {
+				deps.Add(core.Dependency{
+					From:  core.ServiceNode(c.Name, core.DummyPort),
+					To:    core.ActivityNode(a.ID),
+					Dim:   core.ServiceDim,
+					Label: label,
+				})
+			}
+		}
+	}
+	return deps, nil
+}
+
+// DependenciesAll folds the service dependencies of several
+// conversations into one set — the scheduling-engine scenario of §1
+// where every participating service submits its conversation document.
+func DependenciesAll(proc *core.Process, convs ...*Conversation) (*core.DependencySet, error) {
+	all := core.NewDependencySet()
+	for _, c := range convs {
+		d, err := c.Dependencies(proc)
+		if err != nil {
+			return nil, err
+		}
+		all.AddAll(d)
+	}
+	return all, nil
+}

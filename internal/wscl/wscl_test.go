@@ -1,0 +1,147 @@
+package wscl
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+)
+
+func TestParsePurchaseConversation(t *testing.T) {
+	c, err := Parse([]byte(PurchaseWSCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Purchase" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if len(c.Interactions) != 3 || len(c.Transitions) != 3 {
+		t.Errorf("interactions = %d, transitions = %d", len(c.Interactions), len(c.Transitions))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no name", `<Conversation/>`, "without a name"},
+		{"dup interaction", `<Conversation name="X"><ConversationInteractions><Interaction id="1" interactionType="Receive"/><Interaction id="1" interactionType="Receive"/></ConversationInteractions></Conversation>`, "duplicate interaction"},
+		{"bad type", `<Conversation name="X"><ConversationInteractions><Interaction id="1" interactionType="Teleport"/></ConversationInteractions></Conversation>`, "unsupported type"},
+		{"send not dummy", `<Conversation name="X"><ConversationInteractions><Interaction id="cb" interactionType="Send"/></ConversationInteractions></Conversation>`, "dummy port"},
+		{"dangling transition", `<Conversation name="X"><ConversationInteractions><Interaction id="1" interactionType="Receive"/></ConversationInteractions><ConversationTransitions><Transition><SourceInteraction href="1"/><DestinationInteraction href="9"/></Transition></ConversationTransitions></Conversation>`, "unknown interaction"},
+		{"reflexive transition", `<Conversation name="X"><ConversationInteractions><Interaction id="1" interactionType="Receive"/></ConversationInteractions><ConversationTransitions><Transition><SourceInteraction href="1"/><DestinationInteraction href="1"/></Transition></ConversationTransitions></Conversation>`, "reflexive"},
+		{"not xml", `<<<`, "wscl:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestServiceDerivation(t *testing.T) {
+	convs, err := PurchasingConversations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]core.Service{
+		"Credit":     {Name: "Credit", Ports: []string{"1"}, Async: true},
+		"Purchase":   {Name: "Purchase", Ports: []string{"1", "2"}, Async: true, SequentialPorts: true},
+		"Ship":       {Name: "Ship", Ports: []string{"1"}, Async: true},
+		"Production": {Name: "Production", Ports: []string{"1", "2"}},
+	}
+	for _, c := range convs {
+		got := c.Service()
+		w := want[c.Name]
+		if !reflect.DeepEqual(*got, w) {
+			t.Errorf("Service(%s) = %+v, want %+v", c.Name, *got, w)
+		}
+	}
+}
+
+func TestDependenciesReproduceTable1ServiceRows(t *testing.T) {
+	proc := purchasing.Process()
+	convs, err := PurchasingConversations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DependenciesAll(proc, convs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 15 {
+		t.Errorf("derived service deps = %d, want 15", got.Len())
+	}
+	wantRows := purchasing.Dependencies().ByDimension(core.ServiceDim)
+	wantKeys := make([]string, len(wantRows))
+	for i, d := range wantRows {
+		wantKeys[i] = d.From.String() + "→" + d.To.String()
+	}
+	gotKeys := make([]string, 0, got.Len())
+	for _, d := range got.All() {
+		if d.Dim != core.ServiceDim {
+			t.Errorf("non-service dependency derived: %v", d)
+		}
+		gotKeys = append(gotKeys, d.From.String()+"→"+d.To.String())
+	}
+	sort.Strings(wantKeys)
+	sort.Strings(gotKeys)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Errorf("derived rows:\n%v\nwant:\n%v", gotKeys, wantKeys)
+	}
+	if err := got.Validate(proc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependenciesUnknownService(t *testing.T) {
+	proc := core.NewProcess("empty")
+	c, err := Parse([]byte(CreditWSCL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dependencies(proc); err == nil {
+		t.Error("Dependencies accepted process without the service")
+	}
+}
+
+func TestEndToEndWSCLPipeline(t *testing.T) {
+	// Replace the fixture's hand-written service rows with
+	// WSCL-derived ones and confirm the pipeline still lands on the
+	// 17-constraint minimal set.
+	proc := purchasing.Process()
+	deps := core.NewDependencySet()
+	for _, d := range purchasing.Dependencies().All() {
+		if d.Dim != core.ServiceDim {
+			deps.Add(d)
+		}
+	}
+	convs, err := PurchasingConversations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcDeps, err := DependenciesAll(proc, convs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps.AddAll(svcDeps)
+	merged, err := core.Merge(proc, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc, err := core.TranslateServices(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Minimize(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Minimal.Len() != 17 {
+		t.Errorf("minimal = %d constraints, want 17", res.Minimal.Len())
+	}
+}
