@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -226,6 +227,61 @@ func BenchmarkMinimizeExactConditional(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMinimizeParallel sweeps the parallel, closure-caching
+// minimization engine across workload size and worker count on the
+// Bench C exact-conditional shape. The nocache/workers=1 rows replay
+// the seed algorithm (every closure re-derived per candidate×source)
+// and are the baseline the cache speedup is measured against; every
+// configuration produces the identical minimal set. scripts/bench.sh
+// parses this sweep into BENCH_minimize.json. The n=1024 rows take
+// minutes per op and only run when DSCW_BENCH_LARGE is set.
+func BenchmarkMinimizeParallel(b *testing.B) {
+	type config struct {
+		name string
+		opts core.MinimizeOptions
+	}
+	workerSweep := []int{1, 2, 4}
+	if mp := runtime.GOMAXPROCS(0); mp != 1 && mp != 2 && mp != 4 {
+		workerSweep = append(workerSweep, mp)
+	}
+	for _, n := range []int{64, 256, 1024} {
+		w := workload.Layered(n/4, 4, 0.3, 42).WithShortcuts(n / 4).WithDecisions(2)
+		sc, err := w.Constraints()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var configs []config
+		if n <= 256 {
+			// Seed-equivalent baseline; at n=1024 it would run for the
+			// better part of an hour per op.
+			configs = append(configs, config{"nocache/workers=1",
+				core.MinimizeOptions{Parallelism: 1, NoCache: true}})
+		}
+		for _, workers := range workerSweep {
+			configs = append(configs, config{fmt.Sprintf("cache/workers=%d", workers),
+				core.MinimizeOptions{Parallelism: workers}})
+		}
+		for _, cfg := range configs {
+			b.Run(fmt.Sprintf("activities=%d/%s", n, cfg.name), func(b *testing.B) {
+				if n >= 1024 && os.Getenv("DSCW_BENCH_LARGE") == "" {
+					b.Skip("set DSCW_BENCH_LARGE=1 to run the n=1024 sweep")
+				}
+				var pairs, hits float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.MinimizeOpt(sc, cfg.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pairs = float64(res.PairComparisons)
+					hits = float64(res.ClosureCacheHits)
+				}
+				b.ReportMetric(pairs, "pairs/op")
+				b.ReportMetric(hits, "cachehits/op")
+			})
+		}
 	}
 }
 

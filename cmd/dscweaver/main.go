@@ -13,6 +13,7 @@
 //	               data/control dependencies are extracted via PDG
 //	-bpel FILE     write the generated BPEL document to FILE
 //	-validate      run Petri-net soundness checking (default true)
+//	-parallel N    minimization worker count (0 = GOMAXPROCS)
 //	-run           execute the minimal set with no-op activities and
 //	               print the trace
 //	-v             print every pipeline stage
@@ -45,6 +46,7 @@ func main() {
 	dotOut := flag.String("dot", "", "write the minimal constraint graph as Graphviz to this file")
 	decentralize := flag.Bool("decentral", false, "print a decentralized placement of the minimal set across service hosts")
 	explain := flag.String("explain", "", "explain why constraints were removed: 'all' or a substring of the constraint")
+	parallel := flag.Int("parallel", 0, "minimization worker count (0 = GOMAXPROCS, 1 = sequential); the minimal set is identical for every value")
 	verbose := flag.Bool("v", false, "print every pipeline stage")
 	flag.Parse()
 
@@ -104,12 +106,16 @@ func main() {
 	}
 	fmt.Printf("after service translation:  %d constraints\n", asc.Len())
 
-	res, err := core.Minimize(asc)
+	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: *parallel})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("minimal constraint set:     %d constraints (%d removed, %d equivalence checks)\n",
 		res.Minimal.Len(), len(res.Removed), res.EquivalenceChecks)
+	if *verbose {
+		fmt.Printf("minimizer engine:           %d workers, %d/%d closure-cache hits/misses, %d equivalence-memo hits\n",
+			res.Workers, res.ClosureCacheHits, res.ClosureCacheMisses, res.CondMemoHits)
+	}
 	if *verbose {
 		fmt.Println(dscl.PrintConstraints(res.Minimal))
 		fmt.Println()

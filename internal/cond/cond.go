@@ -292,6 +292,52 @@ func (e Expr) Terms() [][]Literal {
 	return out
 }
 
+// Same reports structural identity of two expressions: the same
+// canonical DNF terms in the same order. Because And/Or/Simplify keep
+// expressions normalized (sorted, deduplicated, absorbed), Same-equal
+// expressions are always semantically equal; the converse requires
+// Equal's domain enumeration (e.g. x=T ∨ x=F vs ⊤). Unlike comparing
+// String() renderings, Same walks the terms without allocating — it is
+// the fast path of the optimizer's closure comparisons.
+func (e Expr) Same(o Expr) bool {
+	if len(e.terms) != len(o.terms) {
+		return false
+	}
+	for i, t := range e.terms {
+		u := o.terms[i]
+		if len(t) != len(u) {
+			return false
+		}
+		for j, l := range t {
+			if l != u[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AppendKey appends a compact canonical encoding of the expression to
+// dst and returns the extended slice. Two expressions produce the same
+// key iff they are Same, so the key can index memo tables without
+// holding on to the expressions themselves. The encoding opens every
+// term with '(' (distinguishing True, one empty term, from False, no
+// terms) and separates literals with '&'.
+func (e Expr) AppendKey(dst []byte) []byte {
+	for _, t := range e.terms {
+		dst = append(dst, '(')
+		for j, l := range t {
+			if j > 0 {
+				dst = append(dst, '&')
+			}
+			dst = append(dst, l.Decision...)
+			dst = append(dst, '=')
+			dst = append(dst, l.Value...)
+		}
+	}
+	return dst
+}
+
 // String renders the expression, e.g. "(if_au=T) ∨ (if_au=F ∧ retry=T)".
 // True renders as "⊤" and False as "⊥".
 func (e Expr) String() string {

@@ -378,6 +378,59 @@ func TestQuickDeMorganStyleDistribution(t *testing.T) {
 	}
 }
 
+func TestSameMatchesStringEquality(t *testing.T) {
+	// Same must agree with String() equality on canonical expressions:
+	// it replaces the optimizer's render-and-compare fast path.
+	r := rand.New(rand.NewSource(7))
+	exprs := []Expr{True(), False(), Lit("a", "T"), Lit("a", "F")}
+	for i := 0; i < 60; i++ {
+		exprs = append(exprs, randomExpr(r, 3))
+	}
+	for _, a := range exprs {
+		for _, b := range exprs {
+			if got, want := a.Same(b), a.String() == b.String(); got != want {
+				t.Errorf("Same(%v, %v) = %v, String equality = %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSameDistinguishesTrueFalse(t *testing.T) {
+	if True().Same(False()) || False().Same(True()) {
+		t.Error("Same confuses ⊤ and ⊥")
+	}
+	if !True().Same(True()) || !False().Same(False()) {
+		t.Error("Same not reflexive on ⊤/⊥")
+	}
+}
+
+func TestAppendKeyCanonical(t *testing.T) {
+	// Keys must collide exactly when expressions are Same — in
+	// particular True ("(") and False ("") must differ.
+	r := rand.New(rand.NewSource(11))
+	exprs := []Expr{True(), False(), Lit("a", "T"), Or(Lit("a", "T"), Lit("b", "F"))}
+	for i := 0; i < 60; i++ {
+		exprs = append(exprs, randomExpr(r, 3))
+	}
+	for _, a := range exprs {
+		for _, b := range exprs {
+			ka := string(a.AppendKey(nil))
+			kb := string(b.AppendKey(nil))
+			if (ka == kb) != a.Same(b) {
+				t.Errorf("key(%v)=%q key(%v)=%q, Same=%v", a, ka, b, kb, a.Same(b))
+			}
+		}
+	}
+}
+
+func TestAppendKeyAppends(t *testing.T) {
+	dst := []byte("prefix:")
+	out := Lit("d", "T").AppendKey(dst)
+	if string(out) != "prefix:(d=T" {
+		t.Errorf("AppendKey = %q", out)
+	}
+}
+
 func BenchmarkAndOrSmall(b *testing.B) {
 	x := Or(And(Lit("a", "T"), Lit("b", "F")), Lit("c", "T"))
 	y := Or(Lit("a", "F"), And(Lit("b", "T"), Lit("c", "F")))

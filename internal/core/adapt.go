@@ -28,6 +28,11 @@ type Adapter struct {
 	full    *ConstraintSet // merged + translated catalog
 	minimal *ConstraintSet
 	guards  map[Node]cond.Expr
+	// opts carries the minimization engine options (Parallelism,
+	// NoCache) into every re-minimization and incremental redundancy
+	// check. The Guards field is ignored: the adapter always derives
+	// guards from its own catalog.
+	opts MinimizeOptions
 }
 
 // ChangeResult reports what one adaptation did.
@@ -50,7 +55,17 @@ type ChangeResult struct {
 
 // NewAdapter builds the initial minimal view of the catalog.
 func NewAdapter(proc *Process, deps *DependencySet) (*Adapter, error) {
-	a := &Adapter{proc: proc, deps: NewDependencySet()}
+	return NewAdapterOpt(proc, deps, MinimizeOptions{})
+}
+
+// NewAdapterOpt is NewAdapter with explicit minimization engine
+// options. Parallelism and NoCache apply to the initial minimization
+// and to every subsequent Add/Remove; the Guards override is ignored
+// (the adapter derives guards from its catalog, which changes under
+// adaptation).
+func NewAdapterOpt(proc *Process, deps *DependencySet, opts MinimizeOptions) (*Adapter, error) {
+	opts.Guards = nil
+	a := &Adapter{proc: proc, deps: NewDependencySet(), opts: opts}
 	a.deps.AddAll(deps)
 	if err := a.recompute(); err != nil {
 		return nil, err
@@ -67,7 +82,7 @@ func (a *Adapter) recompute() error {
 	if err != nil {
 		return err
 	}
-	res, err := Minimize(full)
+	res, err := MinimizeOpt(full, a.opts)
 	if err != nil {
 		return err
 	}
@@ -148,6 +163,9 @@ func (a *Adapter) Add(dep Dependency) (*ChangeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	pg.cache.disabled = a.opts.NoCache
+	pg.cacheTo.disabled = a.opts.NoCache
+	pg.memo.disabled = a.opts.NoCache
 	for n, g := range a.guards {
 		pg.guards[n] = g
 	}
@@ -174,13 +192,12 @@ func (a *Adapter) Add(dep Dependency) (*ChangeResult, error) {
 			continue
 		}
 		res.EquivalenceChecks++
-		removable, _, err := pg.edgeRedundant(u, v)
+		removable, _, err := pg.edgeRedundantN(u, v, resolveWorkers(a.opts.Parallelism))
 		if err != nil {
 			return nil, err
 		}
 		if removable {
-			pg.g.RemoveEdge(u, v)
-			delete(pg.conds, [2]int{u, v})
+			pg.removeConstraintEdge(u, v)
 			if !isNew {
 				res.Pruned = append(res.Pruned, c)
 			}
@@ -276,6 +293,9 @@ func (a *Adapter) Remove(dep Dependency) (*ChangeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	pg.cache.disabled = a.opts.NoCache
+	pg.cacheTo.disabled = a.opts.NoCache
+	pg.memo.disabled = a.opts.NoCache
 	res := &ChangeResult{}
 	allRedundant := true
 	for _, c := range gone {
@@ -284,7 +304,7 @@ func (a *Adapter) Remove(dep Dependency) (*ChangeResult, error) {
 		}
 		u, v := pg.pointID(c.From), pg.pointID(c.To)
 		res.EquivalenceChecks++
-		removable, _, err := pg.edgeRedundant(u, v)
+		removable, _, err := pg.edgeRedundantN(u, v, resolveWorkers(a.opts.Parallelism))
 		if err != nil {
 			return nil, err
 		}
@@ -292,8 +312,7 @@ func (a *Adapter) Remove(dep Dependency) (*ChangeResult, error) {
 			allRedundant = false
 			break
 		}
-		pg.g.RemoveEdge(u, v)
-		delete(pg.conds, [2]int{u, v})
+		pg.removeConstraintEdge(u, v)
 	}
 	a.deps = probe
 	if allRedundant && dep.Dim != Control {

@@ -27,6 +27,13 @@ type pointGraph struct {
 	// strict disables guard-context equivalence in edgeRedundant (the
 	// MinimizeOptions.StrictAnnotations ablation).
 	strict bool
+	// cache and cacheTo memoize baseline single-source forward and
+	// single-target backward closures across the minimizer's candidate
+	// loop; memo caches semantic-equivalence verdicts. All are shared
+	// by the edgeRedundantN worker pool.
+	cache   *closureCache
+	cacheTo *closureCache
+	memo    *equalMemo
 }
 
 // buildPointGraph constructs the point graph. It returns an error if
@@ -41,6 +48,9 @@ func buildPointGraph(sc *ConstraintSet) (*pointGraph, error) {
 		conds:    map[[2]int]cond.Expr{},
 		conIndex: map[[2]int]int{},
 		guards:   map[Node]cond.Expr{},
+		cache:    newClosureCache(),
+		cacheTo:  newClosureCache(),
+		memo:     newEqualMemo(),
 	}
 	pg.g = graph.New(0)
 
@@ -53,7 +63,12 @@ func buildPointGraph(sc *ConstraintSet) (*pointGraph, error) {
 		pg.points = append(pg.points, p)
 		return i
 	}
+	seen := map[Node]bool{}
 	lifecycle := func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
 		if n.IsService() {
 			s := add(Point{Node: n, State: Start})
 			f := add(Point{Node: n, State: Finish})
@@ -74,7 +89,9 @@ func buildPointGraph(sc *ConstraintSet) (*pointGraph, error) {
 	}
 
 	// Every process activity participates (Definition 1's A), plus
-	// any external nodes the constraints mention.
+	// any external nodes the constraints mention. sc.Nodes() re-lists
+	// the activities the first loop already added; the `seen` guard in
+	// lifecycle makes point construction a single pass per node.
 	for _, a := range sc.Proc.Activities() {
 		lifecycle(ActivityNode(a.ID))
 	}
@@ -209,7 +226,20 @@ func (pg *pointGraph) guardOf(n Node) cond.Expr {
 // when non-nil, excludes one edge — used by the minimizer to evaluate
 // candidate removals without mutating the graph.
 func (pg *pointGraph) annotatedFrom(src int, skip *[2]int) []cond.Expr {
-	ann := make([]cond.Expr, len(pg.points))
+	return pg.annotatedFromInto(nil, src, skip)
+}
+
+// annotatedFromInto is annotatedFrom computing into buf when it has
+// the right capacity, so the minimizer's per-candidate skip sweeps can
+// reuse one scratch slice per worker instead of allocating one per
+// (candidate, source). The returned slice aliases buf when reused.
+func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int) []cond.Expr {
+	var ann []cond.Expr
+	if cap(buf) >= len(pg.points) {
+		ann = buf[:len(pg.points)]
+	} else {
+		ann = make([]cond.Expr, len(pg.points))
+	}
 	for i := range ann {
 		ann[i] = cond.False()
 	}
@@ -228,6 +258,47 @@ func (pg *pointGraph) annotatedFrom(src int, skip *[2]int) []cond.Expr {
 				continue
 			}
 			ann[v] = cond.Simplify(cond.Or(ann[v], step), pg.doms)
+		}
+	}
+	return ann
+}
+
+// annotatedToInto is the backward counterpart of annotatedFromInto:
+// for every point q it computes the disjunction over all paths q⇒dst
+// of the conjunction of edge conditions along the path, by sweeping
+// the reverse graph in reverse topological order. ann[dst] = True;
+// points that do not reach dst carry False. For any pair (s, t),
+// annotatedTo(t)[s] and annotatedFrom(s)[t] denote the same path
+// disjunction (the intermediate Simplify steps can canonicalize the
+// two differently, but the expressions are semantically equal) — the
+// minimizer exploits this to sweep along whichever side of a candidate
+// edge has the smaller frontier.
+func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int) []cond.Expr {
+	var ann []cond.Expr
+	if cap(buf) >= len(pg.points) {
+		ann = buf[:len(pg.points)]
+	} else {
+		ann = make([]cond.Expr, len(pg.points))
+	}
+	for i := range ann {
+		ann[i] = cond.False()
+	}
+	ann[dst] = cond.True()
+	for i := len(pg.topo) - 1; i >= 0; i-- {
+		v := pg.topo[i]
+		if ann[v].IsFalse() {
+			continue
+		}
+		for _, u := range pg.g.Pred(v) {
+			e := [2]int{u, v}
+			if skip != nil && e == *skip {
+				continue
+			}
+			step := cond.And(pg.conds[e], ann[v])
+			if step.IsFalse() {
+				continue
+			}
+			ann[u] = cond.Simplify(cond.Or(ann[u], step), pg.doms)
 		}
 	}
 	return ann

@@ -20,8 +20,27 @@ type MinimizeResult struct {
 	EquivalenceChecks int
 	// PairComparisons counts the annotated-closure pair comparisons
 	// evaluated across all checks — the maintenance-cost metric of the
-	// optimizer benches.
+	// optimizer benches. The tally depends on the engine configuration:
+	// with Parallelism > 1 workers cancel early on the first
+	// inequivalent pair and how far the others got is
+	// scheduling-dependent, and with the closure cache the structural
+	// fast paths hit at different points than with freshly recomputed
+	// closures. The verdicts themselves — and hence Minimal, Removed
+	// and EquivalenceChecks — are identical for every configuration.
 	PairComparisons int
+	// Workers is the resolved worker-pool size the run used
+	// (MinimizeOptions.Parallelism after the GOMAXPROCS default).
+	Workers int
+	// ClosureCacheHits and ClosureCacheMisses count baseline-closure
+	// lookups served from / computed into the per-source closure
+	// cache. Without the cache every (candidate, source) pair costs a
+	// full annotated sweep; the hit count is the number of sweeps the
+	// cache avoided.
+	ClosureCacheHits   int
+	ClosureCacheMisses int
+	// CondMemoHits counts semantic-equivalence checks answered by the
+	// canonical-DNF memo table instead of domain enumeration.
+	CondMemoHits int
 	// Guards records the execution guards the minimization judged
 	// redundancy under. Guards are a property of the process's control
 	// structure, and minimization may remove redundant control edges,
@@ -63,11 +82,24 @@ func Minimize(sc *ConstraintSet) (*MinimizeResult, error) {
 }
 
 // MinimizeOptions tunes the minimization algorithm; the zero value is
-// the paper-faithful configuration.
+// the paper-faithful configuration (the engine options — Parallelism,
+// NoCache — never change the result, only how fast it is computed).
 type MinimizeOptions struct {
 	// Guards overrides the execution-guard context (nil derives from
 	// the set's control-origin constraints).
 	Guards map[Node]cond.Expr
+	// Parallelism sets the worker-pool size for the per-source
+	// equivalence checks of each candidate removal: 0 means
+	// GOMAXPROCS, 1 runs inline with no goroutines, larger values are
+	// taken literally. The candidate loop itself stays sequential, so
+	// the removal order — and therefore the resulting minimal set — is
+	// bit-identical across worker counts.
+	Parallelism int
+	// NoCache disables the per-source closure cache and the
+	// equivalence memo, restoring the naive re-derivation of every
+	// closure per (candidate, source). It exists as the baseline for
+	// the optimizer benches; results are identical either way.
+	NoCache bool
 	// StrictAnnotations disables guard-context equivalence: closure
 	// annotations are compared verbatim (an unconditional edge into a
 	// guarded activity then differs from the conditional path through
@@ -102,7 +134,11 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 		}
 	}
 	pg.strict = opts.StrictAnnotations
-	res := &MinimizeResult{Guards: pg.guards}
+	pg.cache.disabled = opts.NoCache
+	pg.cacheTo.disabled = opts.NoCache
+	pg.memo.disabled = opts.NoCache
+	workers := resolveWorkers(opts.Parallelism)
+	res := &MinimizeResult{Guards: pg.guards, Workers: workers}
 
 	// Iterate over a snapshot of the constraints; work shrinks as
 	// removals land. The paper's algorithm is order-dependent in
@@ -118,17 +154,19 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 			continue // already removed alongside a folded pair
 		}
 		res.EquivalenceChecks++
-		removable, pairs, err := pg.edgeRedundant(u, v)
+		removable, pairs, err := pg.edgeRedundantN(u, v, workers)
 		res.PairComparisons += pairs
 		if err != nil {
 			return nil, err
 		}
 		if removable {
-			pg.g.RemoveEdge(u, v)
-			delete(pg.conds, [2]int{u, v})
+			pg.removeConstraintEdge(u, v)
 			res.Removed = append(res.Removed, c)
 		}
 	}
+	res.ClosureCacheHits = int(pg.cache.hits.Load() + pg.cacheTo.hits.Load())
+	res.ClosureCacheMisses = int(pg.cache.misses.Load() + pg.cacheTo.misses.Load())
+	res.CondMemoHits = int(pg.memo.hits.Load())
 
 	// Rebuild the minimal set from the surviving edges.
 	minimal := NewConstraintSet(sc.Proc)
@@ -150,60 +188,11 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 // edgeRedundant tests whether removing edge u→v leaves the set
 // transitive-equivalent to the current one. Only closures from points
 // that reach u (including u) toward points reachable from v (including
-// v) can change. It returns the number of pair comparisons made.
+// v) can change. It returns the number of pair comparisons made. This
+// is the inline single-worker form of edgeRedundantN (see
+// minimize_parallel.go).
 func (pg *pointGraph) edgeRedundant(u, v int) (bool, int, error) {
-	skip := [2]int{u, v}
-
-	// Points that reach u, found on the reverse graph by DFS.
-	sources := pg.ancestorsOf(u)
-	sources = append(sources, u)
-
-	// Points reachable from v (targets), plus v itself.
-	targetSet := graph.NewBitset(len(pg.points))
-	targetSet.Set(v)
-	stack := []int{v}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, y := range pg.g.Succ(x) {
-			if !targetSet.Has(y) {
-				targetSet.Set(y)
-				stack = append(stack, y)
-			}
-		}
-	}
-
-	pairs := 0
-	for _, s := range sources {
-		full := pg.annotatedFrom(s, nil)
-		without := pg.annotatedFrom(s, &skip)
-		gs := pg.guardOf(pg.points[s].Node)
-		for t := range pg.points {
-			if !targetSet.Has(t) {
-				continue
-			}
-			if full[t].IsFalse() && without[t].IsFalse() {
-				continue
-			}
-			pairs++
-			// Fast path: canonical DNFs equal syntactically.
-			if full[t].String() == without[t].String() {
-				continue
-			}
-			g := cond.And(gs, pg.guardOf(pg.points[t].Node))
-			if pg.strict {
-				g = cond.True() // ablation: compare annotations verbatim
-			}
-			eq, err := cond.Equal(cond.And(full[t], g), cond.And(without[t], g), pg.doms)
-			if err != nil {
-				return false, pairs, err
-			}
-			if !eq {
-				return false, pairs, nil
-			}
-		}
-	}
-	return true, pairs, nil
+	return pg.edgeRedundantN(u, v, 1)
 }
 
 // ancestorsOf returns all points that reach x by a nonempty path.

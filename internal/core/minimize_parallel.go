@@ -1,0 +1,211 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/graph"
+)
+
+// resolveWorkers maps a MinimizeOptions.Parallelism value to a worker
+// count: 0 (and negatives) mean GOMAXPROCS, 1 means run inline with no
+// goroutines, larger values are taken literally.
+func resolveWorkers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// edgeRedundantN is edgeRedundant with the independent per-endpoint
+// equivalence checks fanned out over a pool of `workers` goroutines.
+// The removal verdict is a conjunction over all (source, target) pairs
+// (every pair's closure annotations must stay equivalent), so the
+// verdict — and therefore the sequence of removals the candidate loop
+// performs — is identical for every worker count; only the wall-clock
+// and the PairComparisons tally (workers cancel early on the first
+// inequivalent pair, and who gets how far is scheduling-dependent)
+// vary.
+//
+// The closure pair for (s, t) can be derived by sweeping forward from
+// s or backward from t over the reverse graph — the same disjunction
+// over paths either way — so the check walks whichever frontier is
+// smaller: one sweep per source when the candidate has few ancestors,
+// one sweep per target when it has few descendants. The seed-faithful
+// NoCache baseline and the strict-annotations ablation always sweep
+// forward, like the paper's algorithm.
+func (pg *pointGraph) edgeRedundantN(u, v, workers int) (bool, int, error) {
+	skip := [2]int{u, v}
+
+	// Points that reach u, found on the reverse graph by DFS, plus u.
+	sources := pg.ancestorsOf(u)
+	sources = append(sources, u)
+
+	// Points reachable from v, plus v itself.
+	targetSet := graph.NewBitset(len(pg.points))
+	targetSet.Set(v)
+	targets := []int{v}
+	stack := []int{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range pg.g.Succ(x) {
+			if !targetSet.Has(y) {
+				targetSet.Set(y)
+				targets = append(targets, y)
+				stack = append(stack, y)
+			}
+		}
+	}
+
+	backward := !pg.strict && !pg.cache.disabled && len(targets) < len(sources)
+	items := sources
+	check := func(item int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+		return pg.sourceEquivalent(item, skip, targetSet, scratch, cancel)
+	}
+	if backward {
+		items = targets
+		check = func(item int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+			return pg.targetEquivalent(item, skip, sources, scratch, cancel)
+		}
+	}
+
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		pairs := 0
+		var scratch []cond.Expr
+		for _, it := range items {
+			ok, p, buf, err := check(it, scratch, nil)
+			scratch = buf
+			pairs += p
+			if err != nil || !ok {
+				return false, pairs, err
+			}
+		}
+		return true, pairs, nil
+	}
+
+	var (
+		next     atomic.Int64 // index of the next unclaimed item
+		pairs    atomic.Int64
+		cancel   atomic.Bool // set on first inequivalent pair or error
+		inequiv  atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []cond.Expr
+			for !cancel.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				ok, p, buf, err := check(items[i], scratch, &cancel)
+				scratch = buf
+				pairs.Add(int64(p))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel.Store(true)
+					return
+				}
+				if !ok {
+					inequiv.Store(true)
+					cancel.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, int(pairs.Load()), firstErr
+	}
+	return !inequiv.Load(), int(pairs.Load()), nil
+}
+
+// sourceEquivalent checks one source's contribution to a candidate
+// removal: whether the closures from s with and without the skipped
+// edge agree on every target, compared in guard context. The baseline
+// closure comes from the closure cache; the skip closure is recomputed
+// into scratch, which is returned for reuse by the caller's next
+// source. A non-nil cancel is polled between targets so workers stop
+// promptly once a sibling has refuted the candidate (the early return
+// reports equivalent=true, which the cancelling caller ignores).
+func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targetSet graph.Bitset, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+	full := pg.fullFrom(s)
+	without := pg.annotatedFromInto(scratch, s, &skip)
+	gs := pg.guardOf(pg.points[s].Node)
+	pairs := 0
+	for t := range pg.points {
+		if !targetSet.Has(t) {
+			continue
+		}
+		if cancel != nil && cancel.Load() {
+			return true, pairs, without, nil
+		}
+		if full[t].IsFalse() && without[t].IsFalse() {
+			continue
+		}
+		pairs++
+		// Fast path: canonical DNFs structurally identical.
+		if full[t].Same(without[t]) {
+			continue
+		}
+		g := cond.And(gs, pg.guardOf(pg.points[t].Node))
+		if pg.strict {
+			g = cond.True() // ablation: compare annotations out of guard context
+		}
+		eq, err := pg.equalCond(cond.And(full[t], g), cond.And(without[t], g))
+		if err != nil {
+			return false, pairs, without, err
+		}
+		if !eq {
+			return false, pairs, without, nil
+		}
+	}
+	return true, pairs, without, nil
+}
+
+// targetEquivalent is sourceEquivalent mirrored: one backward sweep
+// from target t over the reverse graph yields the closure annotations
+// of every source at once, compared against the cached baseline
+// backward closure. Semantically ann_s[t] computed forward and
+// ann_t[s] computed backward are the same disjunction over the paths
+// s⇒t, so the verdict is identical to the forward direction's; only
+// the intermediate Simplify steps (and hence the structural fast-path
+// hit rate) differ.
+func (pg *pointGraph) targetEquivalent(t int, skip [2]int, sources []int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+	full := pg.fullTo(t)
+	without := pg.annotatedToInto(scratch, t, &skip)
+	gt := pg.guardOf(pg.points[t].Node)
+	pairs := 0
+	for _, s := range sources {
+		if cancel != nil && cancel.Load() {
+			return true, pairs, without, nil
+		}
+		if full[s].IsFalse() && without[s].IsFalse() {
+			continue
+		}
+		pairs++
+		if full[s].Same(without[s]) {
+			continue
+		}
+		g := cond.And(pg.guardOf(pg.points[s].Node), gt)
+		eq, err := pg.equalCond(cond.And(full[s], g), cond.And(without[s], g))
+		if err != nil {
+			return false, pairs, without, err
+		}
+		if !eq {
+			return false, pairs, without, nil
+		}
+	}
+	return true, pairs, without, nil
+}

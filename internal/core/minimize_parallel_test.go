@@ -1,0 +1,179 @@
+// Property tests for the parallel, closure-caching minimization
+// engine: for any worker count and cache configuration the minimal
+// set, the removal order and the equivalence-check count must be
+// bit-identical to the sequential naive path, and the result must stay
+// transitive-equivalent to the input. Run with -race to exercise the
+// worker pool under the race detector (CI does).
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+	"dscweaver/internal/workload"
+)
+
+// conditionalWorkload is the Bench C exact-conditional shape: a
+// layered DAG with branch structure (decisions guard next-rank
+// activities) and transitively redundant shortcut edges.
+func conditionalWorkload(t testing.TB, n int) *core.ConstraintSet {
+	t.Helper()
+	w := workload.Layered(n/4, 4, 0.3, int64(n)).WithShortcuts(n / 4).WithDecisions(2)
+	sc, err := w.Constraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// removedString renders a removal list for comparison.
+func removedString(res *core.MinimizeResult) string {
+	s := ""
+	for _, c := range res.Removed {
+		s += c.String() + "\n"
+	}
+	return s
+}
+
+func requireIdentical(t *testing.T, what string, seq, got *core.MinimizeResult) {
+	t.Helper()
+	if seq.Minimal.String() != got.Minimal.String() {
+		t.Errorf("%s: minimal set differs from sequential run:\nseq:\n%s\ngot:\n%s",
+			what, seq.Minimal, got.Minimal)
+	}
+	if removedString(seq) != removedString(got) {
+		t.Errorf("%s: removal order differs from sequential run:\nseq:\n%s\ngot:\n%s",
+			what, removedString(seq), removedString(got))
+	}
+	if seq.EquivalenceChecks != got.EquivalenceChecks {
+		t.Errorf("%s: EquivalenceChecks = %d, sequential = %d",
+			what, got.EquivalenceChecks, seq.EquivalenceChecks)
+	}
+}
+
+func TestMinimizeParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		n := n
+		t.Run(fmt.Sprintf("activities=%d", n), func(t *testing.T) {
+			if n > 64 && testing.Short() {
+				t.Skip("large workload skipped in -short mode")
+			}
+			sc := conditionalWorkload(t, n)
+
+			// Cached sequential run is the reference; the naive
+			// (seed-algorithm) cross-check runs only on the smaller
+			// sizes — it re-derives every closure per candidate and
+			// dominates wall-clock at n=256.
+			ref, err := core.MinimizeOpt(sc, core.MinimizeOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.ClosureCacheHits == 0 {
+				t.Error("reference run: closure cache never hit")
+			}
+			variants := []struct {
+				name string
+				opts core.MinimizeOptions
+			}{
+				{"cached-parallel-8", core.MinimizeOptions{Parallelism: 8}},
+			}
+			if n <= 64 {
+				variants = append(variants,
+					struct {
+						name string
+						opts core.MinimizeOptions
+					}{"naive-sequential", core.MinimizeOptions{Parallelism: 1, NoCache: true}},
+					struct {
+						name string
+						opts core.MinimizeOptions
+					}{"nocache-parallel-8", core.MinimizeOptions{Parallelism: 8, NoCache: true}})
+			}
+			results := map[string]*core.MinimizeResult{"cached-sequential": ref}
+			for _, variant := range variants {
+				res, err := core.MinimizeOpt(sc, variant.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, variant.name, ref, res)
+				if variant.opts.NoCache && (res.ClosureCacheHits != 0 || res.CondMemoHits != 0) {
+					t.Errorf("%s: cache counters nonzero with NoCache: %+v", variant.name, res)
+				}
+				results[variant.name] = res
+			}
+
+			// Both engines' results must stay transitive-equivalent to
+			// the input (Definition 5).
+			for _, name := range []string{"cached-sequential", "cached-parallel-8"} {
+				eq, err := core.Equivalent(sc, results[name].Minimal)
+				if err != nil {
+					t.Fatalf("%s: Equivalent: %v", name, err)
+				}
+				if !eq {
+					t.Errorf("%s: minimal set not equivalent to input", name)
+				}
+			}
+		})
+	}
+}
+
+// TestMinimizeParallelPurchasing pins the acceptance fixture: the
+// paper's purchasing process minimizes to the same 17 constraints and
+// the same removal order (23 removals from the merged catalog's view)
+// for every engine configuration.
+func TestMinimizeParallelPurchasing(t *testing.T) {
+	_, asc, seqRes, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Minimal.Len() != 17 {
+		t.Fatalf("purchasing minimal = %d constraints, want 17", seqRes.Minimal.Len())
+	}
+	naive, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("workers=%d", workers), naive, res)
+		if res.Minimal.Len() != 17 {
+			t.Errorf("workers=%d: minimal = %d constraints, want 17", workers, res.Minimal.Len())
+		}
+	}
+}
+
+// TestAdapterParallelMatchesSequential checks that the adapter's
+// incremental updates are engine-configuration-independent too.
+func TestAdapterParallelMatchesSequential(t *testing.T) {
+	w := workload.Layered(8, 4, 0.3, 5).WithShortcuts(8).WithDecisions(1)
+	dep := core.Dependency{
+		From: core.ActivityNode(w.Layer(1)[0]),
+		To:   core.ActivityNode(w.Layer(6)[2]),
+		Dim:  core.Cooperation, Label: "late rule",
+	}
+	minimals := map[string]string{}
+	for _, cfg := range []struct {
+		name string
+		opts core.MinimizeOptions
+	}{
+		{"sequential-nocache", core.MinimizeOptions{Parallelism: 1, NoCache: true}},
+		{"parallel-cached", core.MinimizeOptions{Parallelism: 8}},
+	} {
+		a, err := core.NewAdapterOpt(w.Proc, w.Deps, cfg.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Add(dep); err != nil {
+			t.Fatal(err)
+		}
+		minimals[cfg.name] = a.Minimal().String()
+	}
+	if minimals["sequential-nocache"] != minimals["parallel-cached"] {
+		t.Errorf("adapter minimal views diverge:\nseq:\n%s\npar:\n%s",
+			minimals["sequential-nocache"], minimals["parallel-cached"])
+	}
+}

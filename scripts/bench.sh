@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the minimizer benchmark sweep and writes BENCH_minimize.json:
+# one record per BenchmarkMinimizeParallel row with the workload size,
+# worker count, cache configuration, ns/op, annotated-closure pair
+# comparisons and closure-cache hits.
+#
+#   scripts/bench.sh [output.json]
+#
+# BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
+# to include the n=1024 rows (minutes per op).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_minimize.json}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMinimizeParallel' -benchtime "$benchtime" -timeout 0 . | tee "$raw"
+
+awk '
+/^BenchmarkMinimizeParallel\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    n = 0; workers = 0; cache = "true"
+    split(name, parts, "/")
+    for (i in parts) {
+        if (parts[i] ~ /^activities=/) { split(parts[i], kv, "="); n = kv[2] }
+        if (parts[i] ~ /^workers=/)    { split(parts[i], kv, "="); workers = kv[2] }
+        if (parts[i] == "nocache")     { cache = "false" }
+    }
+    ns = 0; pairs = 0; hits = 0
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op")        ns = $i
+        if ($(i+1) == "pairs/op")     pairs = $i
+        if ($(i+1) == "cachehits/op") hits = $i
+    }
+    if (ns == 0) next
+    rec = sprintf("  {\"name\": \"%s\", \"activities\": %d, \"workers\": %d, \"cache\": %s, \"ns_per_op\": %.0f, \"pair_comparisons\": %.0f, \"cache_hits\": %.0f}",
+                  name, n, workers, cache, ns, pairs, hits)
+    recs[++count] = rec
+}
+END {
+    print "["
+    for (i = 1; i <= count; i++) printf("%s%s\n", recs[i], i < count ? "," : "")
+    print "]"
+}
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") records)"
