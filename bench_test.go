@@ -16,6 +16,7 @@ import (
 	"dscweaver/internal/core"
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
+	"dscweaver/internal/obs"
 	"dscweaver/internal/pdg"
 	"dscweaver/internal/petri"
 	"dscweaver/internal/purchasing"
@@ -437,6 +438,49 @@ func BenchmarkSchedulerMinimalVsOverspecified(b *testing.B) {
 				b.ReportMetric(float64(peak), "peak-parallel")
 			})
 		}
+	}
+}
+
+// BenchmarkSchedulerObsOverhead measures the instrumentation tax: the
+// same layered workload as BenchmarkSchedulerMinimalVsOverspecified
+// executed with observability off and with a live registry plus no-op
+// event sink. The obs=on/obs=off ns/op ratio is the overhead bound
+// recorded in BENCH_schedule.json (target: <5%).
+func BenchmarkSchedulerObsOverhead(b *testing.B) {
+	const work = 200 * time.Microsecond
+	const width = 8
+	w := workload.Layered(4, width, 0.25, int64(width))
+	merged, err := w.Constraints()
+	if err != nil {
+		b.Fatal(err)
+	}
+	minRes, err := core.MinimizeUnconditional(merged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		opts func() schedule.Options
+	}{
+		{"off", func() schedule.Options {
+			return schedule.Options{Timeout: time.Minute}
+		}},
+		{"on", func() schedule.Options {
+			return schedule.Options{Timeout: time.Minute, Metrics: obs.NewRegistry(), Events: obs.NopSink{}}
+		}},
+	} {
+		b.Run("obs="+variant.name, func(b *testing.B) {
+			opts := variant.opts()
+			for i := 0; i < b.N; i++ {
+				eng, err := schedule.New(minRes.Minimal, schedule.NoopExecutors(minRes.Minimal.Proc, work, nil), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,8 @@
 //	                 transitive equivalence (Definition 5). To quantify
 //	                 the gain over sequencing constructs instead, see
 //	                 examples/concurrency.
+//	-metrics FILE    write Prometheus-style minimizer metrics ("-" = stdout)
+//	-events FILE     write the JSONL minimizer event log ("-" = stdout)
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"dscweaver/internal/core"
 	"dscweaver/internal/dscl"
+	"dscweaver/internal/obs"
 	"dscweaver/internal/sim"
 )
 
@@ -37,6 +40,8 @@ func main() {
 	maxLat := flag.Duration("max", 5*time.Millisecond, "maximum activity latency")
 	branch := flag.String("branch", "", "force every decision to this branch (empty = uniform sampling)")
 	compare := flag.Bool("compare", true, "also estimate the unoptimized set (equivalence check: the distributions must match)")
+	metricsOut := flag.String("metrics", "", "write Prometheus-style minimizer metrics to this file (\"-\" = stdout)")
+	eventsOut := flag.String("events", "", "write the JSONL minimizer event log to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,7 +57,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	asc, res, err := doc.Weave()
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var sink obs.Sink
+	var eventLog *obs.JSONLWriter
+	if *eventsOut != "" {
+		f, err := openOut(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		eventLog = obs.NewJSONLWriter(f)
+		sink = eventLog
+	}
+
+	asc, res, err := doc.WeaveOpt(core.MinimizeOptions{Metrics: reg, Events: sink})
 	if err != nil {
 		fail(err)
 	}
@@ -90,6 +111,35 @@ func main() {
 				float64(unopt.Mean)/float64(minimal.Mean))
 		}
 	}
+
+	if eventLog != nil {
+		if err := eventLog.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if reg != nil {
+		f, err := openOut(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			fail(err)
+		}
+		if *metricsOut != "-" {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// openOut resolves an output-flag value: "-" means stdout, anything
+// else is created (truncated) on disk.
+func openOut(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
 }
 
 func printSummary(label string, s sim.Summary) {

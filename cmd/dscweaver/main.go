@@ -16,6 +16,8 @@
 //	-parallel N    minimization worker count (0 = GOMAXPROCS)
 //	-run           execute the minimal set with no-op activities and
 //	               print the trace
+//	-metrics FILE  write Prometheus-style metrics for the run ("-" = stdout)
+//	-events FILE   write the JSONL lifecycle event log ("-" = stdout)
 //	-v             print every pipeline stage
 package main
 
@@ -31,6 +33,7 @@ import (
 	"dscweaver/internal/core"
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
+	"dscweaver/internal/obs"
 	"dscweaver/internal/pdg"
 	"dscweaver/internal/petri"
 	"dscweaver/internal/schedule"
@@ -47,6 +50,8 @@ func main() {
 	decentralize := flag.Bool("decentral", false, "print a decentralized placement of the minimal set across service hosts")
 	explain := flag.String("explain", "", "explain why constraints were removed: 'all' or a substring of the constraint")
 	parallel := flag.Int("parallel", 0, "minimization worker count (0 = GOMAXPROCS, 1 = sequential); the minimal set is identical for every value")
+	metricsOut := flag.String("metrics", "", "write Prometheus-style metrics for the whole run to this file (\"-\" = stdout)")
+	eventsOut := flag.String("events", "", "write the JSONL lifecycle event log (minimizer + engine) to this file (\"-\" = stdout)")
 	verbose := flag.Bool("v", false, "print every pipeline stage")
 	flag.Parse()
 
@@ -58,6 +63,21 @@ func main() {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var sink obs.Sink
+	var eventLog *obs.JSONLWriter
+	if *eventsOut != "" {
+		f, err := openOut(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		eventLog = obs.NewJSONLWriter(f)
+		sink = eventLog
 	}
 
 	var proc *core.Process
@@ -106,7 +126,7 @@ func main() {
 	}
 	fmt.Printf("after service translation:  %d constraints\n", asc.Len())
 
-	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: *parallel})
+	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: *parallel, Metrics: reg, Events: sink})
 	if err != nil {
 		fail(err)
 	}
@@ -195,7 +215,7 @@ func main() {
 
 	if *run {
 		execs := schedule.NoopExecutors(proc, time.Millisecond, nil)
-		eng, err := schedule.New(res.Minimal, execs, schedule.Options{Guards: guards, Timeout: 30 * time.Second})
+		eng, err := schedule.New(res.Minimal, execs, schedule.Options{Guards: guards, Timeout: 30 * time.Second, Metrics: reg, Events: sink})
 		if err != nil {
 			fail(err)
 		}
@@ -223,6 +243,39 @@ func main() {
 			fmt.Print(tr.Gantt())
 		}
 	}
+
+	if eventLog != nil {
+		if err := eventLog.Close(); err != nil {
+			fail(err)
+		}
+		if *eventsOut != "-" {
+			fmt.Printf("wrote %s\n", *eventsOut)
+		}
+	}
+	if reg != nil {
+		f, err := openOut(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			fail(err)
+		}
+		if *metricsOut != "-" {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+	}
+}
+
+// openOut resolves an output-flag value: "-" means stdout, anything
+// else is created (truncated) on disk.
+func openOut(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
 }
 
 func fail(err error) {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dscweaver/internal/cond"
 	"dscweaver/internal/graph"
+	"dscweaver/internal/obs"
 )
 
 // MinimizeResult reports the outcome of a minimization run.
@@ -108,6 +110,15 @@ type MinimizeOptions struct {
 	// paper's own example stops at 20 constraints instead of
 	// Figure 9's 17.
 	StrictAnnotations bool
+	// Metrics, when non-nil, receives the run's counters (equivalence
+	// checks, pair comparisons, closure-cache hits/misses, memo hits)
+	// — the same tallies MinimizeResult reports, surfaced through the
+	// shared registry so a process exposes engine, bus and minimizer
+	// signals on one endpoint.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives obs.LayerMinimize lifecycle
+	// events: one per candidate verdict plus begin/end markers.
+	Events obs.Sink
 }
 
 // MinimizeWithGuards is Minimize with an explicit guard context. A nil
@@ -139,6 +150,14 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 	pg.memo.disabled = opts.NoCache
 	workers := resolveWorkers(opts.Parallelism)
 	res := &MinimizeResult{Guards: pg.guards, Workers: workers}
+	emit := func(ev obs.Event) {
+		if opts.Events != nil {
+			ev.Layer = obs.LayerMinimize
+			opts.Events.Emit(obs.Stamp(ev))
+		}
+	}
+	began := time.Now()
+	emit(obs.Event{Kind: obs.EvMinimizeBegin, Detail: sc.Proc.Name, Value: float64(sc.Len())})
 
 	// Iterate over a snapshot of the constraints; work shrinks as
 	// removals land. The paper's algorithm is order-dependent in
@@ -154,19 +173,37 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 			continue // already removed alongside a folded pair
 		}
 		res.EquivalenceChecks++
+		checkBegan := time.Now()
 		removable, pairs, err := pg.edgeRedundantN(u, v, workers)
 		res.PairComparisons += pairs
 		if err != nil {
 			return nil, err
 		}
+		verdict := obs.EvCandidateKept
 		if removable {
 			pg.removeConstraintEdge(u, v)
 			res.Removed = append(res.Removed, c)
+			verdict = obs.EvCandidateRemoved
 		}
+		emit(obs.Event{Kind: verdict, Detail: c.String(),
+			Value: float64(pairs), DurNS: int64(time.Since(checkBegan))})
 	}
 	res.ClosureCacheHits = int(pg.cache.hits.Load() + pg.cacheTo.hits.Load())
 	res.ClosureCacheMisses = int(pg.cache.misses.Load() + pg.cacheTo.misses.Load())
 	res.CondMemoHits = int(pg.memo.hits.Load())
+	emit(obs.Event{Kind: obs.EvMinimizeEnd, Detail: sc.Proc.Name,
+		Value: float64(len(res.Removed)), DurNS: int64(time.Since(began))})
+	if r := opts.Metrics; r != nil {
+		r.Counter("minimize_runs_total").Inc()
+		r.Counter("minimize_equivalence_checks_total").Add(int64(res.EquivalenceChecks))
+		r.Counter("minimize_removed_total").Add(int64(len(res.Removed)))
+		r.Counter("minimize_pair_comparisons_total").Add(int64(res.PairComparisons))
+		r.Counter("minimize_closure_cache_hits_total").Add(int64(res.ClosureCacheHits))
+		r.Counter("minimize_closure_cache_misses_total").Add(int64(res.ClosureCacheMisses))
+		r.Counter("minimize_memo_hits_total").Add(int64(res.CondMemoHits))
+		r.Gauge("minimize_workers").Set(int64(workers))
+		r.Histogram("minimize_run_seconds", obs.DurationBuckets).ObserveDuration(time.Since(began))
+	}
 
 	// Rebuild the minimal set from the surviving edges.
 	minimal := NewConstraintSet(sc.Proc)

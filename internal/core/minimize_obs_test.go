@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"dscweaver/internal/obs"
+)
+
+// TestMinimizeObservability checks the minimizer's registry counters
+// and event stream against the MinimizeResult tallies they mirror.
+func TestMinimizeObservability(t *testing.T) {
+	p := linProcess(4)
+	s := NewConstraintSet(p)
+	s.Before("a0", "a1", Data)
+	s.Before("a1", "a2", Data)
+	s.Before("a2", "a3", Data)
+	s.Before("a0", "a2", Cooperation) // redundant shortcut
+	s.Before("a1", "a3", Cooperation) // redundant shortcut
+
+	reg := obs.NewRegistry()
+	var sink obs.MemSink
+	res, err := MinimizeOpt(s, MinimizeOptions{Metrics: reg, Events: &sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 2 {
+		t.Fatalf("removed %d, want 2", len(res.Removed))
+	}
+	if got := reg.Counter("minimize_equivalence_checks_total").Value(); int(got) != res.EquivalenceChecks {
+		t.Errorf("checks counter = %d, result %d", got, res.EquivalenceChecks)
+	}
+	if got := reg.Counter("minimize_removed_total").Value(); got != 2 {
+		t.Errorf("removed counter = %d, want 2", got)
+	}
+	if got := reg.Counter("minimize_pair_comparisons_total").Value(); int(got) != res.PairComparisons {
+		t.Errorf("pairs counter = %d, result %d", got, res.PairComparisons)
+	}
+	if got := reg.Counter("minimize_closure_cache_hits_total").Value(); int(got) != res.ClosureCacheHits {
+		t.Errorf("cache-hit counter = %d, result %d", got, res.ClosureCacheHits)
+	}
+	if got := reg.Gauge("minimize_workers").Value(); int(got) != res.Workers {
+		t.Errorf("workers gauge = %d, result %d", got, res.Workers)
+	}
+
+	var begins, ends, kept, removed int
+	for _, e := range sink.Events() {
+		if e.Layer != obs.LayerMinimize {
+			t.Errorf("wrong layer: %+v", e)
+		}
+		switch e.Kind {
+		case obs.EvMinimizeBegin:
+			begins++
+		case obs.EvMinimizeEnd:
+			ends++
+		case obs.EvCandidateKept:
+			kept++
+		case obs.EvCandidateRemoved:
+			removed++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("begin/end events = %d/%d", begins, ends)
+	}
+	if removed != 2 || kept+removed != res.EquivalenceChecks {
+		t.Errorf("candidate events kept=%d removed=%d vs %d checks", kept, removed, res.EquivalenceChecks)
+	}
+
+	// The instrumented run must stay bit-identical to the plain one.
+	plain, err := Minimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Minimal.Len() != res.Minimal.Len() || len(plain.Removed) != len(res.Removed) {
+		t.Errorf("instrumentation changed the result: %d/%d vs %d/%d",
+			res.Minimal.Len(), len(res.Removed), plain.Minimal.Len(), len(plain.Removed))
+	}
+}

@@ -242,6 +242,13 @@ func (d *Document) ConstraintSet() (*core.ConstraintSet, error) {
 // merge, desugar, service translation, minimization. It returns the
 // translated ASC and the minimization result.
 func (d *Document) Weave() (*core.ConstraintSet, *core.MinimizeResult, error) {
+	return d.WeaveOpt(core.MinimizeOptions{})
+}
+
+// WeaveOpt is Weave with explicit minimization options (parallelism,
+// cache configuration, observability); the minimal set is identical
+// for every engine configuration.
+func (d *Document) WeaveOpt(opts core.MinimizeOptions) (*core.ConstraintSet, *core.MinimizeResult, error) {
 	sc, err := d.ConstraintSet()
 	if err != nil {
 		return nil, nil, err
@@ -253,7 +260,7 @@ func (d *Document) Weave() (*core.ConstraintSet, *core.MinimizeResult, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.Minimize(asc)
+	res, err := core.MinimizeOpt(asc, opts)
 	if err != nil {
 		return nil, nil, err
 	}

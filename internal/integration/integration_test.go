@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"dscweaver/internal/core"
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
+	"dscweaver/internal/obs"
 	"dscweaver/internal/pdg"
 	"dscweaver/internal/petri"
 	"dscweaver/internal/purchasing"
@@ -213,6 +216,93 @@ func TestEveryBackEndAcceptsTheMinimalSet(t *testing.T) {
 	}
 	if len(tr.Executed()) != 13 {
 		t.Errorf("executed = %d, want 13", len(tr.Executed()))
+	}
+}
+
+// TestObservabilityRoundTripPurchasing runs the purchasing example live
+// with all three layers instrumented into one registry and one JSONL
+// event log, then replays the log from disk: the rebuilt trace must
+// validate against the full ASC and guard set, and the exposition must
+// carry families from minimizer, bus and engine.
+func TestObservabilityRoundTripPurchasing(t *testing.T) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards := res.Guards
+
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := obs.NewJSONLWriter(f)
+
+	// Minimizer layer: re-minimize the ASC with instrumentation on.
+	if _, err := core.MinimizeOpt(asc, core.MinimizeOptions{Metrics: reg, Events: log}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bus + engine layers: the live run.
+	bus := services.NewBus(0).Observe(reg, log)
+	if err := services.RegisterPurchasing(bus, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	binding := schedule.NewBinding(bus)
+	eng, err := schedule.New(res.Minimal, binding.Executors(asc.Proc, 0), schedule.Options{
+		Guards: guards, Inputs: map[string]any{"po": "po-9"},
+		Metrics: reg, Events: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, live)
+	}
+	bus.Close()
+	binding.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: the JSONL stream alone must reconstruct a valid trace.
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	events, err := obs.ReadJSONL(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := schedule.TraceFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayed.Validate(asc, guards); err != nil {
+		t.Errorf("replayed trace invalid: %v", err)
+	}
+	if got, want := len(replayed.Executed()), len(live.Executed()); got != want {
+		t.Errorf("replayed %d executed activities, live %d", got, want)
+	}
+
+	// One registry spans all three layers.
+	expo := reg.String()
+	for _, family := range []string{"minimize_runs_total", "bus_invocations_total", "schedule_runs_total"} {
+		if !strings.Contains(expo, family) {
+			t.Errorf("exposition missing %s:\n%s", family, expo)
+		}
+	}
+	layers := map[string]bool{}
+	for _, e := range events {
+		layers[e.Layer] = true
+	}
+	for _, l := range []string{obs.LayerMinimize, obs.LayerBus, obs.LayerEngine} {
+		if !layers[l] {
+			t.Errorf("event log missing layer %s (got %v)", l, layers)
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one typed lifecycle event. Mono is a monotonic offset from
+// a per-process origin (first use of Stamp), so events merged from
+// several layers of one process order correctly even across wall-clock
+// adjustments; Wall is the human-readable counterpart.
+type Event struct {
+	Mono time.Duration `json:"mono_ns"`
+	Wall time.Time     `json:"wall,omitempty"`
+	// Layer identifies the emitting subsystem: LayerEngine, LayerBus
+	// or LayerMinimize.
+	Layer string `json:"layer"`
+	// Kind is one of the Ev* constants.
+	Kind     string `json:"kind"`
+	Activity string `json:"activity,omitempty"`
+	Service  string `json:"service,omitempty"`
+	Port     string `json:"port,omitempty"`
+	// Seq is the engine's global event sequence number (scheduler
+	// events only); TraceFromEvents rebuilds traces from it.
+	Seq     int    `json:"seq,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Branch  string `json:"branch,omitempty"`
+	Err     string `json:"err,omitempty"`
+	// Detail carries free-form context (process name, constraint
+	// string, verdict).
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	DurNS  int64   `json:"dur_ns,omitempty"`
+}
+
+// Layers.
+const (
+	LayerEngine   = "engine"
+	LayerBus      = "bus"
+	LayerMinimize = "minimize"
+)
+
+// Event kinds.
+const (
+	// Engine lifecycle (§4.1's start/run/finish states: a start event
+	// covers the S→R transition, which the engine performs atomically;
+	// finish covers F).
+	EvRunBegin       = "run_begin"
+	EvRunEnd         = "run_end"
+	EvActivityStart  = "activity_start"
+	EvActivityFinish = "activity_finish"
+	EvActivitySkip   = "activity_skip"
+	EvActivityRetry  = "activity_retry"
+	EvActivityFail   = "activity_fail"
+
+	// Bus lifecycle.
+	EvInvoke    = "invoke"
+	EvCallback  = "callback"
+	EvFault     = "fault"
+	EvServiceUp = "service_up"
+	EvBusClosed = "bus_closed"
+
+	// Minimizer lifecycle.
+	EvMinimizeBegin    = "minimize_begin"
+	EvMinimizeEnd      = "minimize_end"
+	EvCandidateKept    = "candidate_kept"
+	EvCandidateRemoved = "candidate_removed"
+)
+
+var (
+	originOnce sync.Once
+	origin     time.Time
+)
+
+// Stamp fills an event's clocks: Wall from the system clock, Mono as
+// the offset from the process-wide origin (established on first use).
+func Stamp(e Event) Event {
+	originOnce.Do(func() { origin = time.Now() })
+	now := time.Now()
+	e.Wall = now
+	e.Mono = now.Sub(origin) // uses the monotonic reading of both
+	return e
+}
+
+// Sink receives lifecycle events. Implementations must be safe for
+// concurrent use; Emit should not block the caller for long (the
+// engine emits outside its scheduling lock, but executors wait on the
+// same goroutines).
+type Sink interface {
+	Emit(Event)
+}
+
+// NopSink discards events; it exists so benches can price the
+// event-construction overhead separately from serialization.
+type NopSink struct{}
+
+// Emit discards the event.
+func (NopSink) Emit(Event) {}
+
+// MultiSink fans an event out to several sinks.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// MemSink collects events in memory (tests, replay).
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (m *MemSink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events copies the collected events.
+func (m *MemSink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// JSONLWriter streams events as one JSON object per line. The zero
+// value is not usable; construct with NewJSONLWriter. Emit never
+// fails the caller: the first write error is latched and later emits
+// are dropped (observability must not take the process down).
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one line.
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Close flushes the buffer and returns the first error seen.
+func (j *JSONLWriter) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// ReadJSONL parses a JSONL event log back into events, preserving
+// line order.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: event log: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+// Package obs is the runtime observability substrate of the weaver: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms with Prometheus text exposition) and a structured
+// lifecycle-event interface (Sink) with a JSONL writer whose logs
+// round-trip back into schedule traces.
+//
+// The paper's two claimed benefits — higher concurrency and lower
+// maintenance cost — are runtime properties; obs is how the scheduling
+// engine, the service bus and the minimizer surface them. Everything
+// is nil-tolerant at the call sites: layers built against a nil
+// *Registry or nil Sink pay only a pointer check, so the benches can
+// quantify instrumentation overhead against an uninstrumented run of
+// the same binary.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the value to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n exceeds the current value.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into a fixed cumulative bucket
+// scheme (upper bounds in ascending order, implicit +Inf last).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	sum    atomic.Uint64  // float64 bits, updated by CAS
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count is the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum is the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default bucket scheme for latencies, in
+// seconds: 10µs … 10s, roughly log-spaced.
+var DurationBuckets = []float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10}
+
+// CountBuckets is the default bucket scheme for small cardinalities
+// (queue depths, retry counts).
+var CountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	name   string
+	labels []string // alternating key, value
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry owns a process's metrics. Lookup methods are
+// get-or-create and safe for concurrent use; handles should be cached
+// by hot paths (one mutex acquisition per lookup).
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*metricEntry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*metricEntry{}}
+}
+
+// metricKey builds the identity of a metric from its name and label
+// pairs (order-sensitive: callers pass labels consistently).
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, ",") + "}"
+}
+
+func (r *Registry) lookup(name string, kind metricKind, labels []string) *metricEntry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: labels must be key/value pairs, got %d items", name, len(labels)))
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok {
+		e = &metricEntry{name: name, labels: append([]string(nil), labels...), kind: kind}
+		r.entries[key] = e
+		r.order = append(r.order, key)
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered twice with different kinds", key))
+	}
+	return e
+}
+
+// Counter returns the counter with the given name and label pairs,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	e := r.lookup(name, kindCounter, labels)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge with the given name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	e := r.lookup(name, kindGauge, labels)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram with the given name, bucket bounds
+// and label pairs. The bounds of the first registration win; bounds
+// must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	e := r.lookup(name, kindHistogram, labels)
+	if e.h == nil {
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %s: bounds not ascending", name))
+		}
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		e.h = h
+	}
+	return e.h
+}
+
+// labelString renders {k="v",...} (empty string when unlabeled).
+func labelString(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus text format
+// expects (no exponent for integral values).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format, grouped by family in name order with one # TYPE
+// header per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.order))
+	for _, k := range r.order {
+		entries = append(entries, r.entries[k])
+	}
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	lastFamily := ""
+	for _, e := range entries {
+		if e.name != lastFamily {
+			typ := "counter"
+			switch e.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
+				return err
+			}
+			lastFamily = e.name
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, labelString(e.labels), e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, labelString(e.labels), e.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			cum := int64(0)
+			for i, bound := range e.h.bounds {
+				cum += e.h.counts[i].Load()
+				le := formatFloat(bound)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, labelString(e.labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			cum += e.h.counts[len(e.h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, labelString(e.labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, labelString(e.labels), formatFloat(e.h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, labelString(e.labels), e.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the registry as Prometheus text (for logs and tests).
+func (r *Registry) String() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "service", "Credit")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "service", "Credit"); again != c {
+		t.Fatal("lookup did not return the same counter")
+	}
+	other := r.Counter("requests_total", "service", "Ship")
+	if other == c {
+		t.Fatal("distinct labels shared a counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.561; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	text := r.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 2`, // 0.001 and the boundary value 0.01
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_current").Set(1)
+	r.Counter("b_total", "k", "v").Inc()
+	text := r.String()
+	// Families sorted by name, one TYPE header per family.
+	if strings.Index(text, "# TYPE a_current gauge") > strings.Index(text, "# TYPE b_total counter") {
+		t.Errorf("families not sorted:\n%s", text)
+	}
+	if strings.Count(text, "# TYPE b_total") != 1 {
+		t.Errorf("duplicate TYPE header:\n%s", text)
+	}
+	if !strings.Contains(text, `b_total{k="v"} 1`) {
+		t.Errorf("labeled sample missing:\n%s", text)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits_total").Inc()
+				r.Histogram("lat", DurationBuckets).Observe(0.001)
+				r.Gauge("g").SetMax(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", DurationBuckets).Count(); got != 8000 {
+		t.Fatalf("observations = %d, want 8000", got)
+	}
+}
+
+func TestStampMonotonic(t *testing.T) {
+	a := Stamp(Event{Layer: LayerEngine, Kind: EvRunBegin})
+	time.Sleep(time.Millisecond)
+	b := Stamp(Event{Layer: LayerEngine, Kind: EvRunEnd})
+	if b.Mono <= a.Mono {
+		t.Fatalf("mono not increasing: %v then %v", a.Mono, b.Mono)
+	}
+	if a.Wall.IsZero() || b.Wall.IsZero() {
+		t.Fatal("wall clock not stamped")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	in := []Event{
+		Stamp(Event{Layer: LayerEngine, Kind: EvActivityStart, Activity: "a1", Seq: 3}),
+		Stamp(Event{Layer: LayerBus, Kind: EvFault, Service: "Ship", Port: "1", Err: "boom"}),
+		Stamp(Event{Layer: LayerMinimize, Kind: EvCandidateRemoved, Detail: "F(a)→S(b)", Value: 12}),
+	}
+	for _, e := range in {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind || out[i].Layer != in[i].Layer ||
+			out[i].Activity != in[i].Activity || out[i].Seq != in[i].Seq ||
+			out[i].Err != in[i].Err || out[i].Detail != in[i].Detail ||
+			out[i].Mono != in[i].Mono || out[i].Value != in[i].Value {
+			t.Errorf("event %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMultiSinkAndMemSink(t *testing.T) {
+	var a, b MemSink
+	s := MultiSink(&a, nil, &b)
+	s.Emit(Event{Kind: EvInvoke})
+	s.Emit(Event{Kind: EvCallback})
+	if len(a.Events()) != 2 || len(b.Events()) != 2 {
+		t.Fatalf("fan-out lost events: %d / %d", len(a.Events()), len(b.Events()))
+	}
+}

@@ -24,12 +24,14 @@ package schedule
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"dscweaver/internal/cond"
 	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
 )
 
 // Outcome is an executor's result; Branch is consumed for decision
@@ -116,6 +118,14 @@ type Options struct {
 	// above; Workers models a resource-constrained engine, letting the
 	// benches chart makespan against available executors.
 	Workers int
+	// Metrics, when non-nil, receives scheduler counters and
+	// histograms (S/R/F transitions, blocked time, worker-slot wait,
+	// retries, dead-path skips, peak parallelism).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives typed lifecycle events
+	// (obs.LayerEngine); a JSONL log of them rebuilds a validatable
+	// trace via TraceFromEvents.
+	Events obs.Sink
 }
 
 // Engine executes one process instance per Run call.
@@ -125,11 +135,55 @@ type Engine struct {
 	execs  map[core.ActivityID]Executor
 	guards map[core.Node]cond.Expr
 	opts   Options
+	m      *engineMetrics // nil when Options.Metrics is nil
+	sink   obs.Sink       // nil when Options.Events is nil
 
 	// static wiring
 	inEdges  map[core.ActivityID][]edgeRef // constraints targeting the activity
 	mutexes  map[core.ActivityID][]int     // exclusive constraint ids per activity
 	nMutexes int
+}
+
+// engineMetrics caches the registry handles the hot path touches so a
+// run pays one registry lookup per metric, not per activity.
+type engineMetrics struct {
+	started     *obs.Counter
+	finished    *obs.Counter
+	skipped     *obs.Counter
+	retries     *obs.Counter
+	failures    *obs.Counter
+	runs        *obs.Counter
+	blocked     *obs.Histogram // gate+mutex wait before start, seconds
+	slotWait    *obs.Histogram // wait attributable to the Workers cap
+	maxParallel *obs.Gauge
+	running     *obs.Gauge
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		started:     r.Counter("schedule_activities_started_total"),
+		finished:    r.Counter("schedule_activities_finished_total"),
+		skipped:     r.Counter("schedule_activities_skipped_total"),
+		retries:     r.Counter("schedule_retries_total"),
+		failures:    r.Counter("schedule_failures_total"),
+		runs:        r.Counter("schedule_runs_total"),
+		blocked:     r.Histogram("schedule_blocked_seconds", obs.DurationBuckets),
+		slotWait:    r.Histogram("schedule_slot_wait_seconds", obs.DurationBuckets),
+		maxParallel: r.Gauge("schedule_max_parallel"),
+		running:     r.Gauge("schedule_running"),
+	}
+}
+
+// emit stamps and delivers one engine event; nil-safe.
+func (e *Engine) emit(ev obs.Event) {
+	if e.sink == nil {
+		return
+	}
+	ev.Layer = obs.LayerEngine
+	e.sink.Emit(obs.Stamp(ev))
 }
 
 type edgeRef struct {
@@ -163,6 +217,7 @@ func New(sc *core.ConstraintSet, execs map[core.ActivityID]Executor, opts Option
 	}
 	e := &Engine{
 		sc: sc, proc: sc.Proc, execs: execs, guards: guards, opts: opts,
+		m: newEngineMetrics(opts.Metrics), sink: opts.Events,
 		inEdges: map[core.ActivityID][]edgeRef{},
 		mutexes: map[core.ActivityID][]int{},
 	}
@@ -188,7 +243,8 @@ func (e *Engine) guardOf(id core.ActivityID) cond.Expr {
 	return cond.True()
 }
 
-// board is the shared event state; all fields are guarded by mu.
+// board is the shared event state; all fields except cancel are
+// guarded by mu.
 type board struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -198,17 +254,48 @@ type board struct {
 	holders  []core.ActivityID // mutex id → holder ("" free)
 	seq      int
 	err      error
-	running  int
-	maxRun   int
+	// errGeneric marks err as the watchdog's context diagnostic; the
+	// first activity-level failure report (which carries the failing
+	// activity and, after cancellation, wraps the same context error)
+	// upgrades it.
+	errGeneric bool
+	running    int
+	maxRun     int
+	// cancel aborts the run context on the first failure so in-flight
+	// executors (service receives, backoff sleeps) return promptly
+	// instead of riding out Options.Timeout — the fail-fast path.
+	cancel context.CancelFunc
 }
 
 // SkippedBranch is the outcome recorded for decisions eliminated by a
 // dead path; guard literals over them evaluate false.
 const SkippedBranch = "∅"
 
+// fail records the run's first activity-level error, wakes every
+// constraint-blocked waiter and cancels the run context so executing
+// activities observe the failure through ctx — the fail-fast path. An
+// activity error also upgrades the watchdog's generic context
+// diagnostic, so the reported error names the activity involved
+// regardless of which goroutine won the race to observe ctx.Done.
+// Callers hold b.mu.
 func (b *board) fail(err error) {
+	if b.err == nil || b.errGeneric {
+		if b.err == nil && b.cancel != nil {
+			b.cancel()
+		}
+		b.err = err
+		b.errGeneric = false
+	}
+	b.cond.Broadcast()
+}
+
+// failCtx records the watchdog's context diagnostic (external cancel
+// or Options.Timeout); it never displaces an activity-level error and
+// may itself be upgraded by one. Callers hold b.mu.
+func (b *board) failCtx(err error) {
 	if b.err == nil {
 		b.err = err
+		b.errGeneric = true
 	}
 	b.cond.Broadcast()
 }
@@ -234,7 +321,10 @@ func (b *board) guardDecidable(g cond.Expr) bool {
 }
 
 // Run executes one instance. It returns the execution trace; on
-// executor failure or timeout the partial trace accompanies the error.
+// executor failure, cancellation or timeout the partial trace
+// accompanies the error. The first failure cancels the run context,
+// so a failing activity terminates the run promptly — dependents and
+// in-flight executors do not wait out Options.Timeout.
 func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 	ctx, cancel := context.WithTimeout(ctx, e.opts.Timeout)
 	defer cancel()
@@ -244,10 +334,15 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 		skipped:  map[core.ActivityID]bool{},
 		outcomes: map[string]string{},
 		holders:  make([]core.ActivityID, e.nMutexes),
+		cancel:   cancel,
 	}
 	b.cond = sync.NewCond(&b.mu)
 	vars := NewVars(e.opts.Inputs)
 	trace := newTrace(e.proc)
+	e.emit(obs.Event{Kind: obs.EvRunBegin, Detail: e.proc.Name})
+	if e.m != nil {
+		e.m.runs.Inc()
+	}
 
 	var wg sync.WaitGroup
 	for _, act := range e.proc.Activities() {
@@ -258,13 +353,16 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 		}(act)
 	}
 
-	// Watchdog: wake sleepers when the context dies.
+	// Watchdog: wake sleepers when the context dies. With the
+	// fail-fast cancel in board.fail this only originates errors for
+	// external cancellation and the Options.Timeout deadline; failures
+	// reach it with b.err already set, making its fail a no-op.
 	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
 			b.mu.Lock()
-			b.fail(fmt.Errorf("schedule: %w; blocked activities: %v", ctx.Err(), e.blocked(b, trace)))
+			b.failCtx(fmt.Errorf("schedule: %w; blocked activities: %v", ctx.Err(), e.blocked(b, trace)))
 			b.mu.Unlock()
 		case <-done:
 		}
@@ -278,6 +376,15 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 	trace.MaxParallel = b.maxRun
 	b.mu.Unlock()
 	trace.finish(vars)
+	if e.m != nil {
+		e.m.maxParallel.SetMax(int64(trace.MaxParallel))
+	}
+	endEv := obs.Event{Kind: obs.EvRunEnd, Detail: e.proc.Name,
+		Value: float64(trace.MaxParallel), DurNS: int64(trace.Makespan())}
+	if err != nil {
+		endEv.Err = err.Error()
+	}
+	e.emit(endEv)
 	if err != nil {
 		return trace, err
 	}
@@ -333,9 +440,14 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 			b.outcomes[string(act.ID)] = SkippedBranch
 		}
 		b.seq++
-		tr.recordSkip(act.ID, b.seq)
+		skipSeq := b.seq
+		tr.recordSkip(act.ID, skipSeq)
 		b.cond.Broadcast()
 		b.mu.Unlock()
+		if e.m != nil {
+			e.m.skipped.Inc()
+		}
+		e.emit(obs.Event{Kind: obs.EvActivitySkip, Activity: string(act.ID), Seq: skipSeq})
 		return
 	}
 
@@ -352,7 +464,16 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	workerFree := func() bool {
 		return e.opts.Workers <= 0 || b.running < e.opts.Workers
 	}
+	var blockedSince, slotSince time.Time
+	if e.m != nil {
+		blockedSince = time.Now()
+	}
 	for b.err == nil && (!allReleased(startGate) || !mutexesFree() || !workerFree()) {
+		// Attribute the wait to the worker cap once it is the only
+		// thing holding the activity back.
+		if e.m != nil && slotSince.IsZero() && allReleased(startGate) && mutexesFree() && !workerFree() {
+			slotSince = time.Now()
+		}
 		b.cond.Wait()
 	}
 	if b.err != nil {
@@ -373,6 +494,15 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	tr.recordStart(act.ID, startSeq)
 	b.cond.Broadcast()
 	b.mu.Unlock()
+	if e.m != nil {
+		e.m.started.Inc()
+		e.m.running.Add(1)
+		e.m.blocked.ObserveDuration(time.Since(blockedSince))
+		if !slotSince.IsZero() {
+			e.m.slotWait.ObserveDuration(time.Since(slotSince))
+		}
+	}
+	e.emit(obs.Event{Kind: obs.EvActivityStart, Activity: string(act.ID), Seq: startSeq})
 
 	// Phase 3: execute outside the lock, retrying per policy.
 	var outcome Outcome
@@ -390,25 +520,49 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 			}
 			if attempt < attempts {
 				tr.recordRetry(act.ID)
+				if e.m != nil {
+					e.m.retries.Inc()
+				}
+				e.emit(obs.Event{Kind: obs.EvActivityRetry, Activity: string(act.ID),
+					Attempt: attempt, Err: execErr.Error()})
 				if policy.Backoff > 0 {
 					select {
 					case <-time.After(policy.Backoff):
 					case <-ctx.Done():
 					}
 				}
-				if ctx.Err() != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					// The retry budget was cut short by
+					// cancellation/timeout mid-backoff: the context
+					// error is the run's real cause, not the last
+					// attempt's failure.
+					execErr = fmt.Errorf("%w (retry abandoned after attempt %d/%d: %v)",
+						ctxErr, attempt, attempts, execErr)
 					break
 				}
 			}
+		}
+		// The symmetric ordering: the context died while the (final)
+		// attempt was executing, and the executor surfaced some other
+		// error. Report the context error as the cause.
+		if execErr != nil && ctx.Err() != nil && !errors.Is(execErr, ctx.Err()) {
+			execErr = fmt.Errorf("%w (last attempt: %v)", ctx.Err(), execErr)
 		}
 	}
 
 	b.mu.Lock()
 	b.running--
 	b.cond.Broadcast() // a worker slot freed up
+	if e.m != nil {
+		e.m.running.Add(-1)
+	}
 	if execErr != nil {
 		b.fail(fmt.Errorf("schedule: activity %s: %w", act.ID, execErr))
 		b.mu.Unlock()
+		if e.m != nil {
+			e.m.failures.Inc()
+		}
+		e.emit(obs.Event{Kind: obs.EvActivityFail, Activity: string(act.ID), Err: execErr.Error()})
 		return
 	}
 	if act.Kind == core.KindDecision {
@@ -451,4 +605,9 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	tr.recordFinish(act.ID, finSeq, outcome.Branch)
 	b.cond.Broadcast()
 	b.mu.Unlock()
+	if e.m != nil {
+		e.m.finished.Inc()
+	}
+	e.emit(obs.Event{Kind: obs.EvActivityFinish, Activity: string(act.ID),
+		Seq: finSeq, Branch: outcome.Branch})
 }

@@ -1,0 +1,68 @@
+package schedule
+
+import (
+	"fmt"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
+)
+
+// TraceFromEvents reconstructs an execution trace from the engine's
+// lifecycle event stream (obs.LayerEngine events as emitted under
+// Options.Events, e.g. read back from a JSONL log with
+// obs.ReadJSONL). The rebuilt trace carries the same sequence
+// numbers, branches, skips and retry counts as the live one, so it
+// validates against the constraint set — the event log is a second,
+// replayable export format next to Trace.MarshalJSON.
+//
+// Events from other layers are ignored; the stream may therefore be a
+// merged process-wide log. An event stream with no run_begin is
+// rejected, as are activity events without a sequence number.
+func TraceFromEvents(events []obs.Event) (*Trace, error) {
+	t := &Trace{records: map[core.ActivityID]*Record{}}
+	sawBegin := false
+	for _, e := range events {
+		if e.Layer != obs.LayerEngine {
+			continue
+		}
+		id := core.ActivityID(e.Activity)
+		switch e.Kind {
+		case obs.EvRunBegin:
+			sawBegin = true
+			t.Process = e.Detail
+			t.Began = e.Wall
+		case obs.EvRunEnd:
+			t.Ended = e.Wall
+			t.MaxParallel = int(e.Value)
+		case obs.EvActivityStart:
+			if e.Seq == 0 {
+				return nil, fmt.Errorf("schedule: start event for %s without sequence number", e.Activity)
+			}
+			r := t.rec(id)
+			r.StartSeq = e.Seq
+			r.StartAt = e.Wall
+		case obs.EvActivityFinish:
+			if e.Seq == 0 {
+				return nil, fmt.Errorf("schedule: finish event for %s without sequence number", e.Activity)
+			}
+			r := t.rec(id)
+			r.FinishSeq = e.Seq
+			r.FinishAt = e.Wall
+			r.Branch = e.Branch
+		case obs.EvActivitySkip:
+			if e.Seq == 0 {
+				return nil, fmt.Errorf("schedule: skip event for %s without sequence number", e.Activity)
+			}
+			r := t.rec(id)
+			r.Skipped = true
+			r.StartSeq = e.Seq
+			r.FinishSeq = e.Seq
+		case obs.EvActivityRetry:
+			t.rec(id).Retries++
+		}
+	}
+	if !sawBegin {
+		return nil, fmt.Errorf("schedule: event stream has no %s event", obs.EvRunBegin)
+	}
+	return t, nil
+}

@@ -1,0 +1,223 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dscweaver/internal/core"
+)
+
+// failFastSet builds the fail-fast scenario: "boom" fails immediately,
+// "dependent" waits on boom's finish, and "stuck" is unconstrained but
+// its executor parks on ctx (a service receive whose callback never
+// arrives once the conversation died).
+func failFastSet() (*core.ConstraintSet, map[core.ActivityID]Executor) {
+	p := core.NewProcess("failfast")
+	p.MustAddActivity(&core.Activity{ID: "boom", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "dependent", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "stuck", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Before("boom", "dependent", core.Data)
+	execs := map[core.ActivityID]Executor{
+		"boom": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			return Outcome{}, errors.New("injected failure")
+		},
+		"dependent": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			return Outcome{}, nil
+		},
+		"stuck": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			<-ctx.Done() // a receive that never gets its callback
+			return Outcome{}, fmt.Errorf("stuck: %w", ctx.Err())
+		},
+	}
+	return sc, execs
+}
+
+// TestFailFastTerminatesWellBeforeTimeout is the regression test for
+// the fail-fast path: one failing activity must terminate the run —
+// including constraint-blocked waiters and in-flight executors parked
+// on ctx — promptly, not after Options.Timeout.
+func TestFailFastTerminatesWellBeforeTimeout(t *testing.T) {
+	const timeout = 30 * time.Second
+	sc, execs := failFastSet()
+	e, err := New(sc, execs, Options{Timeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	began := time.Now()
+	tr, err := e.Run(context.Background())
+	elapsed := time.Since(began)
+	if err == nil {
+		t.Fatalf("run succeeded despite failing activity:\n%s", tr)
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("error does not name the root cause: %v", err)
+	}
+	if elapsed > timeout/10 {
+		t.Fatalf("run took %v — not fail-fast against a %v timeout", elapsed, timeout)
+	}
+	// The dependent never started; the trace stays partial but valid.
+	if r, ok := tr.Record("dependent"); ok && r.StartSeq != 0 {
+		t.Errorf("dependent started after upstream failure: %+v", r)
+	}
+}
+
+// TestFailFastKeepsFirstError checks that secondary failures (executors
+// unwound by the fail-fast cancel) do not displace the root cause.
+func TestFailFastKeepsFirstError(t *testing.T) {
+	sc, execs := failFastSet()
+	e, err := New(sc, execs, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "activity boom") {
+		t.Fatalf("first failure not reported: %v", err)
+	}
+	if strings.Contains(err.Error(), "activity stuck") {
+		t.Errorf("secondary cancellation error displaced the root cause: %v", err)
+	}
+}
+
+// TestRetryReportsCancelMidBackoff covers the first ordering of the
+// retry/context race: the caller cancels while the engine sleeps
+// between attempts. The run error must be the context error, with the
+// abandoned attempt's failure as context.
+func TestRetryReportsCancelMidBackoff(t *testing.T) {
+	p := core.NewProcess("retry")
+	p.MustAddActivity(&core.Activity{ID: "flaky", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	execs := map[core.ActivityID]Executor{
+		"flaky": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			return Outcome{}, errors.New("flaky failure")
+		},
+	}
+	e, err := New(sc, execs, Options{
+		Timeout: 30 * time.Second,
+		Retry:   map[core.ActivityID]RetryPolicy{"flaky": {MaxAttempts: 5, Backoff: 10 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	began := time.Now()
+	_, err = e.Run(ctx)
+	if elapsed := time.Since(began); elapsed > 2*time.Second {
+		t.Fatalf("cancel mid-backoff took %v to surface", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled as the cause", err)
+	}
+	if !strings.Contains(err.Error(), "flaky failure") {
+		t.Errorf("abandoned attempt's error lost: %v", err)
+	}
+}
+
+// TestRetryReportsTimeoutMidBackoff is the same ordering under the
+// engine's own deadline: the error must be the timeout, not the last
+// executor failure.
+func TestRetryReportsTimeoutMidBackoff(t *testing.T) {
+	p := core.NewProcess("retry")
+	p.MustAddActivity(&core.Activity{ID: "flaky", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	execs := map[core.ActivityID]Executor{
+		"flaky": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			return Outcome{}, errors.New("flaky failure")
+		},
+	}
+	e, err := New(sc, execs, Options{
+		Timeout: 50 * time.Millisecond,
+		Retry:   map[core.ActivityID]RetryPolicy{"flaky": {MaxAttempts: 3, Backoff: 10 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded as the cause", err)
+	}
+}
+
+// TestRetryReportsCancelDuringAttempt covers the second ordering: the
+// context dies while the attempt itself executes and the executor
+// surfaces its own (non-context) error afterwards.
+func TestRetryReportsCancelDuringAttempt(t *testing.T) {
+	p := core.NewProcess("retry")
+	p.MustAddActivity(&core.Activity{ID: "late", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	execs := map[core.ActivityID]Executor{
+		"late": func(ctx context.Context, _ *core.Activity, _ *Vars) (Outcome, error) {
+			<-ctx.Done()
+			return Outcome{}, errors.New("late failure") // hides the real cause
+		},
+	}
+	e, err := New(sc, execs, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err = e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled as the cause", err)
+	}
+	if !strings.Contains(err.Error(), "late failure") {
+		t.Errorf("executor error lost from the report: %v", err)
+	}
+}
+
+// TestRunCancellationPartialTraceNoLeaks checks external cancellation
+// mid-run: the partial trace still validates, the error is the context
+// error, and no engine goroutines outlive the run.
+func TestRunCancellationPartialTraceNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sc := chainSet(8)
+	execs := NoopExecutors(sc.Proc, 20*time.Millisecond, nil)
+	e, err := New(sc, execs, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // a few links into the chain
+		cancel()
+	}()
+	tr, err := e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := len(tr.Executed()); got == 0 || got == 8 {
+		t.Logf("executed %d of 8 before cancel (timing-dependent)", got)
+	}
+	if err := tr.Validate(sc, nil); err != nil {
+		t.Errorf("partial trace fails validation: %v\n%s", err, tr)
+	}
+
+	// Every engine goroutine (activities + watchdog) must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,127 @@
+package schedule
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/workload"
+)
+
+// TestEngineMetrics runs a small layered workload under a registry and
+// checks the scheduler counters agree with the trace.
+func TestEngineMetrics(t *testing.T) {
+	w := workload.Layered(3, 4, 0.25, 11)
+	sc, err := w.Constraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e, err := New(sc, NoopExecutors(sc.Proc, time.Millisecond, nil),
+		Options{Timeout: 10 * time.Second, Workers: 2, Metrics: reg, Events: obs.NopSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := reg.Counter("schedule_activities_started_total").Value()
+	finished := reg.Counter("schedule_activities_finished_total").Value()
+	skipped := reg.Counter("schedule_activities_skipped_total").Value()
+	if int(started) != len(tr.Executed()) || started != finished {
+		t.Errorf("started/finished = %d/%d, trace executed %d", started, finished, len(tr.Executed()))
+	}
+	if int(skipped) != len(tr.SkippedActivities()) {
+		t.Errorf("skipped = %d, trace skipped %d", skipped, len(tr.SkippedActivities()))
+	}
+	if got := reg.Gauge("schedule_max_parallel").Value(); int(got) != tr.MaxParallel {
+		t.Errorf("max_parallel gauge = %d, trace %d", got, tr.MaxParallel)
+	}
+	if got := reg.Gauge("schedule_running").Value(); got != 0 {
+		t.Errorf("running gauge = %d after run end", got)
+	}
+	if reg.Histogram("schedule_blocked_seconds", obs.DurationBuckets).Count() != started {
+		t.Error("blocked-time histogram missing observations")
+	}
+	// Workers=2 on a width-4 layer must have produced slot waits.
+	if reg.Histogram("schedule_slot_wait_seconds", obs.DurationBuckets).Count() == 0 {
+		t.Error("no worker-slot waits recorded under a worker cap")
+	}
+	text := reg.String()
+	if !strings.Contains(text, "schedule_runs_total 1") {
+		t.Errorf("exposition missing run counter:\n%s", text)
+	}
+}
+
+// TestEventLogRebuildsValidTrace round-trips the lifecycle event
+// stream through JSONL and revalidates the reconstructed trace.
+func TestEventLogRebuildsValidTrace(t *testing.T) {
+	p := core.NewProcess("evlog")
+	p.MustAddActivity(&core.Activity{ID: "dec", Kind: core.KindDecision})
+	p.MustAddActivity(&core.Activity{ID: "yes", Kind: core.KindOpaque})
+	p.MustAddActivity(&core.Activity{ID: "always", Kind: core.KindOpaque})
+	sc := core.NewConstraintSet(p)
+	sc.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("dec", core.Finish),
+		To: core.PointOf("yes", core.Start), Cond: cond.Lit("dec", "T"), Origins: []core.Dimension{core.Control}})
+	sc.Before("dec", "always", core.Data)
+
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	execs := NoopExecutors(p, 0, func(core.ActivityID) string { return "F" })
+	e, err := New(sc, execs, Options{Timeout: 10 * time.Second, Events: jw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := TraceFromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayed.Validate(sc, nil); err != nil {
+		t.Fatalf("replayed trace fails validation: %v\n%s", err, replayed)
+	}
+	if replayed.Process != "evlog" {
+		t.Errorf("process = %q", replayed.Process)
+	}
+	for _, want := range live.Records() {
+		got, ok := replayed.Record(want.Activity)
+		if !ok {
+			t.Fatalf("replay lost activity %s", want.Activity)
+		}
+		if got.StartSeq != want.StartSeq || got.FinishSeq != want.FinishSeq ||
+			got.Skipped != want.Skipped || got.Branch != want.Branch {
+			t.Errorf("replay diverged for %s: %+v vs %+v", want.Activity, got, want)
+		}
+	}
+	if replayed.MaxParallel != live.MaxParallel {
+		t.Errorf("replayed MaxParallel = %d, live %d", replayed.MaxParallel, live.MaxParallel)
+	}
+}
+
+// TestTraceFromEventsRejectsTruncatedStream: a stream that never saw
+// run_begin is not a trace.
+func TestTraceFromEventsRejectsTruncatedStream(t *testing.T) {
+	_, err := TraceFromEvents([]obs.Event{
+		{Layer: obs.LayerEngine, Kind: obs.EvActivityStart, Activity: "a", Seq: 1},
+	})
+	if err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

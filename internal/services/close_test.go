@@ -1,0 +1,193 @@
+package services
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dscweaver/internal/obs"
+)
+
+// echoBus registers a single echo service that replies once per call.
+func echoBus(t *testing.T, inboxCap int) *Bus {
+	t.Helper()
+	b := NewBus(inboxCap)
+	err := b.Register(Config{
+		Name: "Echo", Ports: []string{"1"},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "r", Payload: c.Payload}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestInvokeOnClosedBusReturnsTypedError: after Close, Invoke and
+// Register refuse with ErrBusClosed — no panic, no send.
+func TestInvokeOnClosedBusReturnsTypedError(t *testing.T) {
+	b := echoBus(t, 0)
+	go func() {
+		for range b.Inbox() {
+		}
+	}()
+	b.Close()
+	if err := b.Invoke("Echo", "1", "x"); !errors.Is(err, ErrBusClosed) {
+		t.Fatalf("Invoke after Close = %v, want ErrBusClosed", err)
+	}
+	if err := b.Register(Config{Name: "Late"}); !errors.Is(err, ErrBusClosed) {
+		t.Fatalf("Register after Close = %v, want ErrBusClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestConcurrentCloseInvoke races many invokers against Close (run
+// under -race in CI): no send-on-closed-channel panic, every accepted
+// invocation's callback is delivered before the inbox closes, and
+// refused invocations all carry the typed error.
+func TestConcurrentCloseInvoke(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := echoBus(t, 8)
+
+		var delivered atomic.Int64
+		consumerDone := make(chan struct{})
+		go func() {
+			defer close(consumerDone)
+			for cb := range b.Inbox() {
+				if cb.Err == nil {
+					delivered.Add(1)
+				}
+			}
+		}()
+
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					err := b.Invoke("Echo", "1", i)
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrBusClosed):
+						return
+					default:
+						t.Errorf("unexpected invoke error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		b.Close()
+		wg.Wait()
+		<-consumerDone
+
+		if got, want := delivered.Load(), accepted.Load(); got != want {
+			t.Fatalf("round %d: %d callbacks delivered for %d accepted invocations", round, got, want)
+		}
+	}
+}
+
+// TestCloseDrainsPendingInvocations: invocations accepted before Close
+// — including ones still queued behind a slow handler — produce their
+// callbacks before the inbox closes.
+func TestCloseDrainsPendingInvocations(t *testing.T) {
+	b := NewBus(64)
+	if err := b.Register(Config{
+		Name: "Slow", Ports: []string{"1"}, Latency: 2 * time.Millisecond,
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "r", Payload: c.Payload}}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Callback
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for cb := range b.Inbox() {
+			got = append(got, cb)
+		}
+	}()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := b.Invoke("Slow", "1", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	<-done
+	if len(got) != n {
+		t.Fatalf("drained %d callbacks, want %d", len(got), n)
+	}
+}
+
+// TestBusObservability checks the per-port latency histogram, the
+// counters and the event stream against a known traffic pattern.
+func TestBusObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	var sink obs.MemSink
+	b := NewBus(16).Observe(reg, &sink)
+	if err := b.Register(Config{
+		Name: "Flaky", Ports: []string{"1"}, FailFirst: map[string]int{"1": 2},
+		Handle: func(c *Call) ([]Emit, error) {
+			return []Emit{{Tag: "r", Payload: c.Payload}}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range b.Inbox() {
+		}
+	}()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := b.Invoke("Flaky", "1", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	<-done
+
+	if got := reg.Counter("bus_invocations_total").Value(); got != n {
+		t.Errorf("invocations = %d, want %d", got, n)
+	}
+	// 2 transient faults + 3 successful replies.
+	if got := reg.Counter("bus_transient_retries_total").Value(); got != 2 {
+		t.Errorf("transient retries = %d, want 2", got)
+	}
+	if got := reg.Counter("bus_faults_total").Value(); got != 2 {
+		t.Errorf("faults = %d, want 2", got)
+	}
+	if got := reg.Counter("bus_callbacks_total").Value(); got != n {
+		t.Errorf("callbacks = %d, want %d", got, n)
+	}
+	h := reg.Histogram("bus_invocation_seconds", obs.DurationBuckets, "service", "Flaky", "port", "1")
+	if h.Count() != n {
+		t.Errorf("latency observations = %d, want %d", h.Count(), n)
+	}
+	if !strings.Contains(reg.String(), `bus_invocation_seconds_count{service="Flaky",port="1"} 5`) {
+		t.Errorf("exposition missing per-port histogram:\n%s", reg.String())
+	}
+
+	kinds := map[string]int{}
+	for _, e := range sink.Events() {
+		if e.Layer != obs.LayerBus {
+			t.Errorf("wrong layer on bus event: %+v", e)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[obs.EvInvoke] != n || kinds[obs.EvFault] != 2 || kinds[obs.EvCallback] != 3 ||
+		kinds[obs.EvServiceUp] != 1 || kinds[obs.EvBusClosed] != 1 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+}

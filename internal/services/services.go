@@ -23,9 +23,12 @@
 package services
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"dscweaver/internal/obs"
 )
 
 // Call is one invocation as seen by a service handler.
@@ -94,9 +97,15 @@ var ErrTransient = fmt.Errorf("transient service fault")
 // exception the paper's state-aware Purchase service would produce.
 var ErrOutOfOrder = fmt.Errorf("port invoked out of declaration order")
 
+// ErrBusClosed is wrapped by Invoke and Register once Close has begun:
+// a closed bus refuses work with a typed error instead of panicking on
+// a closed channel.
+var ErrBusClosed = errors.New("bus closed")
+
 type invocation struct {
 	port    string
 	payload any
+	at      time.Time // enqueue time, for the invocation-latency histogram
 }
 
 type service struct {
@@ -112,10 +121,30 @@ type Bus struct {
 	inbox    chan Callback
 	wg       sync.WaitGroup
 	closed   bool
+	// inflight tracks Invoke calls that passed the closed check but
+	// have not yet handed their message to a service channel; Close
+	// waits for them before closing those channels, so Invoke can
+	// never send on a closed channel.
+	inflight sync.WaitGroup
 
 	statsMu   sync.Mutex
 	delivered int
 	faults    int
+
+	reg  *obs.Registry // nil = uninstrumented
+	sink obs.Sink      // nil = no events
+	bm   *busMetrics
+}
+
+// busMetrics caches the unlabeled registry handles; per-service/port
+// histograms and counters are looked up per call (one registry mutex
+// acquisition), which the simulated-latency bus workloads absorb.
+type busMetrics struct {
+	invocations *obs.Counter
+	callbacks   *obs.Counter
+	faults      *obs.Counter
+	transients  *obs.Counter
+	inboxDepth  *obs.Gauge
 }
 
 // NewBus returns a bus with the given inbox capacity (default 256 when
@@ -130,12 +159,41 @@ func NewBus(inboxCap int) *Bus {
 	}
 }
 
+// Observe attaches a metrics registry and/or event sink (either may be
+// nil). Call before Register; instrumentation applies to subsequent
+// traffic.
+func (b *Bus) Observe(reg *obs.Registry, sink obs.Sink) *Bus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	b.sink = sink
+	if reg != nil {
+		b.bm = &busMetrics{
+			invocations: reg.Counter("bus_invocations_total"),
+			callbacks:   reg.Counter("bus_callbacks_total"),
+			faults:      reg.Counter("bus_faults_total"),
+			transients:  reg.Counter("bus_transient_retries_total"),
+			inboxDepth:  reg.Gauge("bus_inbox_depth"),
+		}
+	}
+	return b
+}
+
+// emit stamps and delivers one bus event; nil-safe.
+func (b *Bus) emit(ev obs.Event) {
+	if b.sink == nil {
+		return
+	}
+	ev.Layer = obs.LayerBus
+	b.sink.Emit(obs.Stamp(ev))
+}
+
 // Register adds a service and starts its goroutine.
 func (b *Bus) Register(cfg Config) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return fmt.Errorf("services: bus closed")
+		return fmt.Errorf("services: register %s: %w", cfg.Name, ErrBusClosed)
 	}
 	if cfg.Name == "" {
 		return fmt.Errorf("services: service without a name")
@@ -154,61 +212,80 @@ func (b *Bus) Register(cfg Config) error {
 	b.services[cfg.Name] = s
 	b.wg.Add(1)
 	go b.run(s)
+	b.emit(obs.Event{Kind: obs.EvServiceUp, Service: cfg.Name})
 	return nil
 }
 
 // run is the service goroutine: a sequential state machine.
 func (b *Bus) run(s *service) {
 	defer b.wg.Done()
-	state := map[string]any{}
-	next := 0 // next expected port index for sequential services
-	seq := 0
-	portCalls := map[string]int{} // per-port invocation counts for FailFirst
+	st := &serviceState{state: map[string]any{}, portCalls: map[string]int{}}
 	for inv := range s.in {
-		seq++
-		latency := s.cfg.Latency
-		if d, ok := s.cfg.PortLatency[inv.port]; ok {
-			latency = d
+		st.seq++
+		b.process(s, st, inv)
+		if b.reg != nil {
+			// End-to-end invocation latency: enqueue → handler done.
+			b.reg.Histogram("bus_invocation_seconds", obs.DurationBuckets,
+				"service", s.cfg.Name, "port", inv.port).ObserveDuration(time.Since(inv.at))
 		}
-		if latency > 0 {
-			time.Sleep(latency)
+	}
+}
+
+// serviceState is the per-goroutine private state of one service.
+type serviceState struct {
+	state     map[string]any
+	next      int // next expected port index for sequential services
+	seq       int
+	portCalls map[string]int // per-port invocation counts for FailFirst
+}
+
+// process handles one invocation on the service goroutine.
+func (b *Bus) process(s *service, st *serviceState, inv invocation) {
+	latency := s.cfg.Latency
+	if d, ok := s.cfg.PortLatency[inv.port]; ok {
+		latency = d
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err, ok := s.cfg.FailOn[inv.port]; ok && err != nil {
+		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: fmt.Errorf("services: %s.%s: %w", s.cfg.Name, inv.port, err)})
+		return
+	}
+	if k := s.cfg.FailFirst[inv.port]; k > 0 && st.portCalls[inv.port] < k {
+		st.portCalls[inv.port]++
+		if b.bm != nil {
+			b.bm.transients.Inc()
 		}
-		if err, ok := s.cfg.FailOn[inv.port]; ok && err != nil {
-			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: fmt.Errorf("services: %s.%s: %w", s.cfg.Name, inv.port, err)})
-			continue
-		}
-		if k := s.cfg.FailFirst[inv.port]; k > 0 && portCalls[inv.port] < k {
-			portCalls[inv.port]++
-			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port,
-				Err: fmt.Errorf("services: %s.%s attempt %d: %w", s.cfg.Name, inv.port, portCalls[inv.port], ErrTransient)})
-			continue
-		}
-		portCalls[inv.port]++
-		if s.cfg.Sequential {
-			idx, known := s.portIdx[inv.port]
-			if known {
-				if idx != next {
-					b.deliver(Callback{
-						Service: s.cfg.Name, Tag: inv.port,
-						Err: fmt.Errorf("services: %s.%s arrived before port %s: %w",
-							s.cfg.Name, inv.port, s.cfg.Ports[next], ErrOutOfOrder),
-					})
-					continue
-				}
-				next++
+		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port,
+			Err: fmt.Errorf("services: %s.%s attempt %d: %w", s.cfg.Name, inv.port, st.portCalls[inv.port], ErrTransient)})
+		return
+	}
+	st.portCalls[inv.port]++
+	if s.cfg.Sequential {
+		idx, known := s.portIdx[inv.port]
+		if known {
+			if idx != st.next {
+				b.deliver(Callback{
+					Service: s.cfg.Name, Tag: inv.port,
+					Err: fmt.Errorf("services: %s.%s arrived before port %s: %w",
+						s.cfg.Name, inv.port, s.cfg.Ports[st.next], ErrOutOfOrder),
+				})
+				return
 			}
+			st.next++
 		}
-		if s.cfg.Handle == nil {
-			continue
-		}
-		emits, err := s.cfg.Handle(&Call{Port: inv.port, Payload: inv.payload, State: state, Seq: seq})
-		if err != nil {
-			b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: err})
-			continue
-		}
-		for _, e := range emits {
-			b.deliver(Callback{Service: s.cfg.Name, Tag: e.Tag, Payload: e.Payload})
-		}
+	}
+	if s.cfg.Handle == nil {
+		return
+	}
+	emits, err := s.cfg.Handle(&Call{Port: inv.port, Payload: inv.payload, State: st.state, Seq: st.seq})
+	if err != nil {
+		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: err})
+		return
+	}
+	for _, e := range emits {
+		b.deliver(Callback{Service: s.cfg.Name, Tag: e.Tag, Payload: e.Payload})
 	}
 }
 
@@ -219,24 +296,50 @@ func (b *Bus) deliver(cb Callback) {
 		b.faults++
 	}
 	b.statsMu.Unlock()
+	if b.bm != nil {
+		b.bm.callbacks.Inc()
+		if cb.Err != nil {
+			b.bm.faults.Inc()
+		}
+	}
+	if cb.Err != nil {
+		b.emit(obs.Event{Kind: obs.EvFault, Service: cb.Service, Port: cb.Tag, Err: cb.Err.Error()})
+	} else {
+		b.emit(obs.Event{Kind: obs.EvCallback, Service: cb.Service, Port: cb.Tag})
+	}
 	b.inbox <- cb
+	if b.bm != nil {
+		b.bm.inboxDepth.Set(int64(len(b.inbox)))
+	}
 }
 
 // Invoke sends an asynchronous message to a service port. It returns
-// an error only for unknown services — delivery problems surface as
-// callbacks, like a real asynchronous fabric.
+// an error only for unknown services and a closed bus (wrapping
+// ErrBusClosed) — delivery problems surface as callbacks, like a real
+// asynchronous fabric. Invoke never panics on concurrent Close: an
+// invocation that passed the closed check is tracked and Close drains
+// it before the service channels go down.
 func (b *Bus) Invoke(serviceName, port string, payload any) error {
 	b.mu.Lock()
-	s, ok := b.services[serviceName]
-	closed := b.closed
-	b.mu.Unlock()
-	if closed {
-		return fmt.Errorf("services: bus closed")
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("services: invoke %s.%s: %w", serviceName, port, ErrBusClosed)
 	}
+	s, ok := b.services[serviceName]
 	if !ok {
+		b.mu.Unlock()
 		return fmt.Errorf("services: unknown service %s", serviceName)
 	}
-	s.in <- invocation{port: port, payload: payload}
+	// Registered under the lock so Close cannot observe closed=true
+	// yet miss this invocation.
+	b.inflight.Add(1)
+	b.mu.Unlock()
+	defer b.inflight.Done()
+	if b.bm != nil {
+		b.bm.invocations.Inc()
+	}
+	b.emit(obs.Event{Kind: obs.EvInvoke, Service: serviceName, Port: port})
+	s.in <- invocation{port: port, payload: payload, at: time.Now()}
 	return nil
 }
 
@@ -250,8 +353,13 @@ func (b *Bus) Stats() (delivered, faults int) {
 	return b.delivered, b.faults
 }
 
-// Close shuts the service goroutines down and closes the inbox after
-// all pending work drains.
+// Close shuts the bus down: it stops admitting invocations (Invoke
+// then returns ErrBusClosed), waits for in-flight Invoke calls to hand
+// their messages over, closes the service channels so the service
+// goroutines drain every accepted invocation, and finally closes the
+// inbox. Callbacks for every accepted invocation are therefore
+// delivered before the inbox closes — provided a consumer keeps
+// draining the inbox, as in normal operation.
 func (b *Bus) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -259,10 +367,16 @@ func (b *Bus) Close() {
 		return
 	}
 	b.closed = true
+	b.mu.Unlock()
+	// New Invokes are refused; wait for the admitted ones to finish
+	// their sends before closing the channels they send on.
+	b.inflight.Wait()
+	b.mu.Lock()
 	for _, s := range b.services {
 		close(s.in)
 	}
 	b.mu.Unlock()
 	b.wg.Wait()
+	b.emit(obs.Event{Kind: obs.EvBusClosed})
 	close(b.inbox)
 }

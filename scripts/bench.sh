@@ -2,17 +2,23 @@
 # Runs the minimizer benchmark sweep and writes BENCH_minimize.json:
 # one record per BenchmarkMinimizeParallel row with the workload size,
 # worker count, cache configuration, ns/op, annotated-closure pair
-# comparisons and closure-cache hits.
+# comparisons and closure-cache hits. Also runs the scheduler
+# observability-overhead benchmark and writes BENCH_schedule.json with
+# the obs=off / obs=on ns/op pair and the overhead percentage.
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [minimize-output.json] [schedule-output.json]
 #
 # BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
-# to include the n=1024 rows (minutes per op).
+# to include the n=1024 rows (minutes per op). SCHED_BENCHTIME (default
+# 20x) controls the scheduler overhead runs, which need repetitions for
+# a stable ratio.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_minimize.json}"
+sched_out="${2:-BENCH_schedule.json}"
 benchtime="${BENCHTIME:-1x}"
+sched_benchtime="${SCHED_BENCHTIME:-20x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -48,3 +54,30 @@ END {
 ' "$raw" > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") records)"
+
+sched_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sched_raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSchedulerObsOverhead' -benchtime "$sched_benchtime" -timeout 0 . | tee "$sched_raw"
+
+awk '
+/^BenchmarkSchedulerObsOverhead\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = 0
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op") ns = $i
+    }
+    if (name ~ /obs=off/) off = ns
+    if (name ~ /obs=on/)  on = ns
+}
+END {
+    if (off == 0 || on == 0) { print "missing obs benchmark rows" > "/dev/stderr"; exit 1 }
+    pct = (on - off) / off * 100
+    printf("{\n  \"benchmark\": \"BenchmarkSchedulerObsOverhead\",\n")
+    printf("  \"obs_off_ns_per_op\": %.0f,\n  \"obs_on_ns_per_op\": %.0f,\n", off, on)
+    printf("  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5\n}\n", pct)
+}
+' "$sched_raw" > "$sched_out"
+
+echo "wrote $sched_out (overhead $(grep -o '"overhead_pct": [0-9.-]*' "$sched_out" | cut -d' ' -f2)%)"
