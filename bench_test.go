@@ -5,8 +5,12 @@
 package dscweaver_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -22,6 +26,7 @@ import (
 	"dscweaver/internal/purchasing"
 	"dscweaver/internal/repro"
 	"dscweaver/internal/schedule"
+	"dscweaver/internal/server"
 	"dscweaver/internal/services"
 	"dscweaver/internal/sim"
 	"dscweaver/internal/workload"
@@ -622,4 +627,45 @@ func mustRead(b *testing.B, path string) string {
 		b.Fatal(err)
 	}
 	return string(data)
+}
+
+// BenchmarkServerWeave measures dscweaverd's weave request throughput
+// through the full HTTP stack (decode → pipeline → Petri verdict →
+// encode) at minimizer parallelism 1 vs GOMAXPROCS. scripts/bench.sh
+// turns the ns/op into req/sec for BENCH_server.json.
+func BenchmarkServerWeave(b *testing.B) {
+	src := mustRead(b, "internal/dscl/testdata/purchasing.dscl")
+	parallels := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		parallels = append(parallels, n)
+	}
+	for _, parallel := range parallels {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			s, err := server.New(server.Config{WeaveParallelism: parallel})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer s.Shutdown()
+			body, err := json.Marshal(server.WeaveRequest{Source: src})
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/v1/weave", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != 200 {
+					raw, _ := io.ReadAll(resp.Body)
+					b.Fatalf("weave: %d %s", resp.StatusCode, raw)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
 }

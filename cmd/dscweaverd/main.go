@@ -1,0 +1,94 @@
+// Command dscweaverd serves the weaver pipeline over HTTP: a
+// long-running hardened service in front of the same §5 pipeline the
+// dscweaver CLI runs once per invocation.
+//
+//	POST /v1/weave             weave DSCL or seqlang source into the
+//	                           minimal constraint set (+ Petri verdict,
+//	                           optional BPEL)
+//	POST /v1/simulate          execute the minimal set on the scheduling
+//	                           engine against simulated services
+//	GET  /v1/runs              recent run summaries
+//	GET  /v1/runs/{id}/events  one run's lifecycle event log as JSONL
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness (503 while draining)
+//
+// Usage:
+//
+//	dscweaverd [flags]
+//
+//	-addr ADDR       listen address (default :8421)
+//	-config FILE     JSON config file (flags override it)
+//	-events FILE     rotating JSONL event log path
+//	-parallel N      default minimizer worker count per weave
+//	-concurrency N   weave worker pool size (default GOMAXPROCS)
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight weaves finish,
+// then the event log closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dscweaver/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "listen address (default :8421)")
+	configPath := flag.String("config", "", "JSON config file (flags override it)")
+	events := flag.String("events", "", "rotating JSONL event log path")
+	parallel := flag.Int("parallel", 0, "default minimizer worker count per weave (0 = GOMAXPROCS)")
+	concurrency := flag.Int("concurrency", 0, "weave worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dscweaverd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var cfg server.Config
+	if *configPath != "" {
+		var err error
+		cfg, err = server.LoadConfig(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *events != "" {
+		cfg.EventsPath = *events
+	}
+	if *parallel != 0 {
+		cfg.WeaveParallelism = *parallel
+	}
+	if *concurrency != 0 {
+		cfg.WeaveConcurrency = *concurrency
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg = cfg.Normalize()
+	fmt.Fprintf(os.Stderr, "dscweaverd listening on %s (weave pool %d)\n", cfg.Addr, cfg.WeaveConcurrency)
+	if err := s.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "dscweaverd drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dscweaverd:", err)
+	os.Exit(1)
+}

@@ -176,8 +176,44 @@ func (j *JSONLWriter) Close() error {
 	return j.err
 }
 
+// LineError reports a malformed line in a JSONL event log: the
+// 1-based line number, a bounded excerpt of the offending bytes, and
+// the underlying decode or scan error. Callers that tolerate partial
+// logs (a reader racing a writer, a truncated rotation) can detect it
+// with errors.As and keep the valid prefix ReadJSONL returns alongside
+// it.
+type LineError struct {
+	// Line is the 1-based number of the malformed line (the line the
+	// scanner was on, for scanner-level errors such as an oversized
+	// line).
+	Line int
+	// Excerpt is the offending input, truncated to excerptLimit bytes.
+	Excerpt string
+	// Err is the underlying error.
+	Err error
+}
+
+const excerptLimit = 128
+
+func (e *LineError) Error() string {
+	return fmt.Sprintf("obs: event log line %d: %v (input %q)", e.Line, e.Err, e.Excerpt)
+}
+
+// Unwrap exposes the underlying decode/scan error to errors.Is/As.
+func (e *LineError) Unwrap() error { return e.Err }
+
+func excerpt(b []byte) string {
+	if len(b) > excerptLimit {
+		b = b[:excerptLimit]
+	}
+	return string(b)
+}
+
 // ReadJSONL parses a JSONL event log back into events, preserving
-// line order.
+// line order. On malformed input it returns the events decoded before
+// the bad line together with a *LineError naming the line — a reader
+// hitting a half-written tail keeps the valid prefix instead of
+// losing the whole log.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
@@ -190,12 +226,12 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+			return out, &LineError{Line: line, Excerpt: excerpt(sc.Bytes()), Err: err}
 		}
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: event log: %w", err)
+		return out, &LineError{Line: line + 1, Err: err}
 	}
 	return out, nil
 }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a deterministic registry covering every
+// exposition feature: plain and labeled counters, gauges (including a
+// negative value), label values needing escaping, and histograms with
+// populated, empty and overflow buckets.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	// Registered deliberately out of name order: the exposition must
+	// sort families itself.
+	r.Counter("zeta_total").Add(3)
+	r.Counter("alpha_total", "kind", "plain").Add(12)
+	r.Counter("alpha_total", "kind", `quoted"backslash\and
+newline`).Inc()
+	r.Gauge("depth").Set(-4)
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1}, "op", "weave")
+	h.Observe(0.005)                                                      // first bucket
+	h.Observe(0.5)                                                        // third bucket
+	h.Observe(5)                                                          // +Inf overflow
+	r.Histogram("latency_seconds", []float64{0.01, 0.1, 1}, "op", "idle") // zero observations
+	return r
+}
+
+// TestWritePrometheusGolden pins the scrape format byte for byte so it
+// cannot drift silently (ordering, escaping, histogram series).
+func TestWritePrometheusGolden(t *testing.T) {
+	got := goldenRegistry().String()
+	path := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusHistogramInvariants checks the structural
+// guarantees scrapers rely on: buckets are cumulative, the +Inf bucket
+// equals _count, and every histogram family carries _sum and _count.
+func TestWritePrometheusHistogramInvariants(t *testing.T) {
+	expo := goldenRegistry().String()
+	lines := strings.Split(strings.TrimSpace(expo), "\n")
+
+	var infCount, sum, count int
+	prevCum := int64(-1)
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "latency_seconds_bucket") && strings.Contains(ln, `op="weave"`):
+			fields := strings.Fields(ln)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", ln, err)
+			}
+			if v < prevCum {
+				t.Errorf("bucket counts not cumulative at %q", ln)
+			}
+			prevCum = v
+			if strings.Contains(ln, `le="+Inf"`) {
+				infCount++
+				if v != 3 {
+					t.Errorf("+Inf bucket = %d, want total observation count 3", v)
+				}
+			}
+		case strings.HasPrefix(ln, "latency_seconds_sum"):
+			sum++
+		case strings.HasPrefix(ln, "latency_seconds_count"):
+			count++
+		}
+	}
+	if infCount != 1 {
+		t.Errorf("got %d +Inf buckets for op=weave, want 1", infCount)
+	}
+	if sum != 2 || count != 2 {
+		t.Errorf("got %d _sum and %d _count series, want 2 each (weave and idle)", sum, count)
+	}
+	// One TYPE header per family, even with several label sets.
+	if n := strings.Count(expo, "# TYPE latency_seconds "); n != 1 {
+		t.Errorf("latency_seconds has %d TYPE headers, want 1", n)
+	}
+	if n := strings.Count(expo, "# TYPE alpha_total "); n != 1 {
+		t.Errorf("alpha_total has %d TYPE headers, want 1", n)
+	}
+}

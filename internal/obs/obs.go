@@ -122,6 +122,10 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*metricEntry
 	order   []string
+	// bucketOverrides replaces the caller-supplied bounds for whole
+	// histogram families — deployment-time tuning without touching the
+	// instrumented call sites (see OverrideBuckets).
+	bucketOverrides map[string][]float64
 }
 
 // NewRegistry returns an empty registry.
@@ -138,7 +142,11 @@ func metricKey(name string, labels []string) string {
 	return name + "{" + strings.Join(labels, ",") + "}"
 }
 
-func (r *Registry) lookup(name string, kind metricKind, labels []string) *metricEntry {
+// lookup returns the entry for a metric, creating it (including the
+// kind-specific instrument, via mk) under the registry mutex so
+// concurrent first registrations of one metric agree on a single
+// handle.
+func (r *Registry) lookup(name string, kind metricKind, labels []string, mk func(e *metricEntry)) *metricEntry {
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: metric %s: labels must be key/value pairs, got %d items", name, len(labels)))
 	}
@@ -154,42 +162,79 @@ func (r *Registry) lookup(name string, kind metricKind, labels []string) *metric
 	if e.kind != kind {
 		panic(fmt.Sprintf("obs: metric %s registered twice with different kinds", key))
 	}
+	mk(e)
 	return e
 }
 
 // Counter returns the counter with the given name and label pairs,
 // creating it on first use.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	e := r.lookup(name, kindCounter, labels)
-	if e.c == nil {
-		e.c = &Counter{}
-	}
+	e := r.lookup(name, kindCounter, labels, func(e *metricEntry) {
+		if e.c == nil {
+			e.c = &Counter{}
+		}
+	})
 	return e.c
 }
 
 // Gauge returns the gauge with the given name and label pairs.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	e := r.lookup(name, kindGauge, labels)
-	if e.g == nil {
-		e.g = &Gauge{}
-	}
+	e := r.lookup(name, kindGauge, labels, func(e *metricEntry) {
+		if e.g == nil {
+			e.g = &Gauge{}
+		}
+	})
 	return e.g
 }
 
 // Histogram returns the histogram with the given name, bucket bounds
 // and label pairs. The bounds of the first registration win; bounds
-// must be sorted ascending.
+// must be sorted ascending. A family-level override installed with
+// OverrideBuckets replaces the caller's bounds.
 func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
-	e := r.lookup(name, kindHistogram, labels)
-	if e.h == nil {
+	e := r.lookup(name, kindHistogram, labels, func(e *metricEntry) {
+		if e.h != nil {
+			return
+		}
+		if ov, ok := r.bucketOverrides[name]; ok {
+			bounds = ov
+		}
 		if !sort.Float64sAreSorted(bounds) {
 			panic(fmt.Sprintf("obs: histogram %s: bounds not ascending", name))
 		}
 		h := &Histogram{bounds: append([]float64(nil), bounds...)}
 		h.counts = make([]atomic.Int64, len(bounds)+1)
 		e.h = h
-	}
+	})
 	return e.h
+}
+
+// OverrideBuckets installs replacement bucket bounds for a histogram
+// family: every later Histogram call with that name uses these bounds
+// instead of its own, so a deployment can re-bucket latency families
+// (server config) without touching instrumented code. Bounds must be
+// sorted ascending and non-empty. Overriding a family that already has
+// a registered histogram returns an error — the series would silently
+// mix two schemes.
+func (r *Registry) OverrideBuckets(name string, bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("obs: override %s: empty bucket list", name)
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return fmt.Errorf("obs: override %s: bounds not ascending", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.name == name && e.h != nil {
+			return fmt.Errorf("obs: override %s: family already registered", name)
+		}
+	}
+	if r.bucketOverrides == nil {
+		r.bucketOverrides = map[string][]float64{}
+	}
+	r.bucketOverrides[name] = append([]float64(nil), bounds...)
+	return nil
 }
 
 // labelString renders {k="v",...} (empty string when unlabeled).

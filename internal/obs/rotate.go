@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// RotateOptions tunes a RotatingJSONL sink. The zero value rotates at
+// 64 MiB, keeps 8 rotated files and never rotates on age.
+type RotateOptions struct {
+	// MaxBytes rotates the active file before a write would push it
+	// past this size (default 64 MiB).
+	MaxBytes int64
+	// MaxAge rotates the active file once it has been open this long
+	// (0 = never). Age-based rotation bounds how stale the newest
+	// rotated file can be on a quiet server.
+	MaxAge time.Duration
+	// MaxFiles is the number of rotated files kept as path.1 … path.N,
+	// newest first (default 8). Older files are deleted.
+	MaxFiles int
+}
+
+func (o RotateOptions) withDefaults() RotateOptions {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 64 << 20
+	}
+	if o.MaxFiles <= 0 {
+		o.MaxFiles = 8
+	}
+	return o
+}
+
+// RotatingJSONL is a Sink writing one JSON object per line to a file
+// that rotates by size and age: the active log lives at path, rotated
+// generations at path.1 (newest) … path.N. Emit never fails the
+// caller — the first error is latched (observability must not take
+// the process down) and surfaces from Close.
+type RotatingJSONL struct {
+	mu        sync.Mutex
+	path      string
+	opts      RotateOptions
+	f         *os.File
+	size      int64
+	born      time.Time
+	err       error
+	rotations int
+}
+
+// NewRotatingJSONL opens (appending) the active log file at path.
+func NewRotatingJSONL(path string, opts RotateOptions) (*RotatingJSONL, error) {
+	r := &RotatingJSONL{path: path, opts: opts.withDefaults()}
+	if err := r.open(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// open (re)opens the active file; callers hold r.mu (or are the
+// constructor).
+func (r *RotatingJSONL) open() error {
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: rotating log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("obs: rotating log: %w", err)
+	}
+	r.f = f
+	r.size = st.Size()
+	r.born = time.Now()
+	return nil
+}
+
+// rotate shifts path.i → path.i+1 (dropping generation MaxFiles) and
+// reopens a fresh active file; callers hold r.mu.
+func (r *RotatingJSONL) rotate() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	os.Remove(fmt.Sprintf("%s.%d", r.path, r.opts.MaxFiles))
+	for i := r.opts.MaxFiles - 1; i >= 1; i-- {
+		from := fmt.Sprintf("%s.%d", r.path, i)
+		if _, err := os.Stat(from); err == nil {
+			if err := os.Rename(from, fmt.Sprintf("%s.%d", r.path, i+1)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		return err
+	}
+	r.rotations++
+	return r.open()
+}
+
+// Emit appends one event, rotating first if the write would exceed
+// MaxBytes or the active file outlived MaxAge.
+func (r *RotatingJSONL) Emit(e Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.mu.Unlock()
+		return
+	}
+	data = append(data, '\n')
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil || r.f == nil { // errored or already closed
+		return
+	}
+	needRotate := r.size > 0 && r.size+int64(len(data)) > r.opts.MaxBytes
+	if !needRotate && r.opts.MaxAge > 0 && time.Since(r.born) > r.opts.MaxAge && r.size > 0 {
+		needRotate = true
+	}
+	if needRotate {
+		if err := r.rotate(); err != nil {
+			r.err = fmt.Errorf("obs: rotating log: %w", err)
+			return
+		}
+	}
+	n, err := r.f.Write(data)
+	r.size += int64(n)
+	if err != nil {
+		r.err = fmt.Errorf("obs: rotating log: %w", err)
+	}
+}
+
+// Rotations reports how many rotations have happened (tests, metrics).
+func (r *RotatingJSONL) Rotations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotations
+}
+
+// Close closes the active file and returns the first error seen.
+func (r *RotatingJSONL) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f != nil {
+		if err := r.f.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+		r.f = nil
+	}
+	return r.err
+}

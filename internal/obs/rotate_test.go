@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRotatingJSONLSizeRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	r, err := NewRotatingJSONL(path, RotateOptions{MaxBytes: 256, MaxFiles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Layer: LayerEngine, Kind: EvActivityStart, Activity: fmt.Sprintf("a_%03d", i), Seq: i + 1})
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rotations() == 0 {
+		t.Fatal("no rotation despite 100 events at MaxBytes=256")
+	}
+
+	// Bounded retention: active file plus at most MaxFiles rotated.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 4 {
+		t.Errorf("retention leak: %d files, want ≤ 4", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "events.jsonl") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+
+	// Every surviving file is valid JSONL, and the newest events live
+	// in the active file (rotation shifts older generations up).
+	var lastActive []Event
+	for _, name := range []string{"events.jsonl", "events.jsonl.1", "events.jsonl.2", "events.jsonl.3"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		evs, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if name == "events.jsonl" {
+			lastActive = evs
+		}
+	}
+	if len(lastActive) == 0 || lastActive[len(lastActive)-1].Seq != 100 {
+		t.Errorf("active file does not end at the newest event: %+v", lastActive)
+	}
+}
+
+func TestRotatingJSONLAgeRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	r, err := NewRotatingJSONL(path, RotateOptions{MaxAge: time.Millisecond, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(Event{Kind: EvRunBegin})
+	time.Sleep(5 * time.Millisecond)
+	r.Emit(Event{Kind: EvRunEnd})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1 (age-triggered)", r.Rotations())
+	}
+}
+
+func TestRotatingJSONLConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	r, err := NewRotatingJSONL(path, RotateOptions{MaxBytes: 512, MaxFiles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Emit(Event{Layer: LayerBus, Kind: EvInvoke, Service: fmt.Sprintf("svc%d", g), Seq: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Emit after Close must be a silent no-op, not a panic.
+	r.Emit(Event{Kind: EvRunEnd})
+}
+
+// TestReadJSONLMalformedLine is the regression test for the typed
+// reader error: a corrupted line must surface a *LineError naming the
+// line while the valid prefix is still returned.
+func TestReadJSONLMalformedLine(t *testing.T) {
+	log := `{"layer":"engine","kind":"run_begin"}
+{"layer":"engine","kind":"activity_start","activity":"a","seq":1}
+{not json at all
+{"layer":"engine","kind":"run_end"}
+`
+	events, err := ReadJSONL(strings.NewReader(log))
+	if err == nil {
+		t.Fatal("corrupted log read without error")
+	}
+	var le *LineError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T is not a *LineError: %v", err, err)
+	}
+	if le.Line != 3 {
+		t.Errorf("LineError.Line = %d, want 3", le.Line)
+	}
+	if !strings.Contains(le.Excerpt, "not json") {
+		t.Errorf("LineError.Excerpt = %q, want offending input", le.Excerpt)
+	}
+	if le.Unwrap() == nil {
+		t.Error("LineError.Unwrap() = nil, want underlying decode error")
+	}
+	if len(events) != 2 {
+		t.Errorf("valid prefix = %d events, want 2", len(events))
+	}
+	if len(events) == 2 && events[1].Kind != EvActivityStart {
+		t.Errorf("prefix content wrong: %+v", events)
+	}
+}
+
+func TestReadJSONLOversizedLine(t *testing.T) {
+	// A line past the scanner's 4 MiB cap is a scan error, which must
+	// also arrive typed with a line number.
+	big := `{"detail":"` + strings.Repeat("x", 5<<20) + `"}`
+	log := "{\"kind\":\"run_begin\"}\n" + big + "\n"
+	events, err := ReadJSONL(strings.NewReader(log))
+	var le *LineError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T is not a *LineError: %v", err, err)
+	}
+	if le.Line != 2 {
+		t.Errorf("LineError.Line = %d, want 2", le.Line)
+	}
+	if len(events) != 1 {
+		t.Errorf("valid prefix = %d events, want 1", len(events))
+	}
+}
+
+func TestOverrideBuckets(t *testing.T) {
+	r := NewRegistry()
+	if err := r.OverrideBuckets("weave_seconds", []float64{0.5, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Histogram("weave_seconds", DurationBuckets)
+	h.Observe(0.7)
+	expo := r.String()
+	if !strings.Contains(expo, `weave_seconds_bucket{le="0.5"} 0`) ||
+		!strings.Contains(expo, `weave_seconds_bucket{le="1"} 1`) {
+		t.Errorf("override not applied:\n%s", expo)
+	}
+	if strings.Contains(expo, `le="1e-05"`) {
+		t.Errorf("default DurationBuckets leaked through the override:\n%s", expo)
+	}
+
+	// Too late: the family exists.
+	if err := r.OverrideBuckets("weave_seconds", []float64{1}); err == nil {
+		t.Error("overriding a registered family must fail")
+	}
+	// Invalid bounds.
+	if err := r.OverrideBuckets("other", nil); err == nil {
+		t.Error("empty override must fail")
+	}
+	if err := r.OverrideBuckets("other", []float64{2, 1}); err == nil {
+		t.Error("unsorted override must fail")
+	}
+}

@@ -1,0 +1,191 @@
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/workload"
+)
+
+// compareTraces asserts that a trace replayed from an event log
+// carries exactly the live trace's records: sequence numbers, skips,
+// branches and retry counts, plus the run-level peak parallelism.
+func compareTraces(t *testing.T, live, replayed *Trace) {
+	t.Helper()
+	liveRecs := live.Records()
+	replayedRecs := replayed.Records()
+	if len(liveRecs) != len(replayedRecs) {
+		t.Fatalf("replayed %d records, live %d\nlive:\n%s\nreplayed:\n%s",
+			len(replayedRecs), len(liveRecs), live, replayed)
+	}
+	byID := map[core.ActivityID]Record{}
+	for _, r := range replayedRecs {
+		byID[r.Activity] = r
+	}
+	for _, want := range liveRecs {
+		got, ok := byID[want.Activity]
+		if !ok {
+			t.Fatalf("activity %s missing from replayed trace", want.Activity)
+		}
+		if got.StartSeq != want.StartSeq || got.FinishSeq != want.FinishSeq ||
+			got.Skipped != want.Skipped || got.Branch != want.Branch || got.Retries != want.Retries {
+			t.Errorf("activity %s: replayed %+v, live %+v", want.Activity, got, want)
+		}
+	}
+	if replayed.MaxParallel != live.MaxParallel {
+		t.Errorf("replayed MaxParallel = %d, live %d", replayed.MaxParallel, live.MaxParallel)
+	}
+}
+
+// TestTraceFromEventsRoundTripRandomDAG is the property test for the
+// event-log replay path: for randomized layered DAG schedules (up to
+// 128 activities, with decisions, shortcuts, retried transient
+// failures and a random worker cap), the JSONL-able event stream must
+// rebuild the exact live trace and validate against the constraint
+// set. Run under -race in CI.
+func TestTraceFromEventsRoundTripRandomDAG(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			layers := 3 + r.Intn(5)
+			width := 1 + r.Intn(16) // ≤ 8×16 = 128 activities
+			w := workload.Layered(layers, width, 0.3, seed).
+				WithShortcuts(r.Intn(8)).
+				WithDecisions(r.Intn(3))
+			sc, err := w.Constraints()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Desugar(); err != nil {
+				t.Fatal(err)
+			}
+			guards, err := core.DeriveGuards(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			branch := func(core.ActivityID) string {
+				if r.Intn(2) == 0 {
+					return "T"
+				}
+				return "F"
+			}
+			execs := NoopExecutors(sc.Proc, 0, branch)
+			// A few activities fail transiently once; the retry policy
+			// absorbs it, and the retry events must replay too.
+			retry := map[core.ActivityID]RetryPolicy{}
+			for _, act := range sc.Proc.Activities() {
+				if r.Intn(8) != 0 {
+					continue
+				}
+				id := act.ID
+				inner := execs[id]
+				failed := false // per-run: each engine below runs once
+				execs[id] = func(ctx context.Context, a *core.Activity, vars *Vars) (Outcome, error) {
+					if !failed {
+						failed = true
+						return Outcome{}, fmt.Errorf("transient %s", id)
+					}
+					return inner(ctx, a, vars)
+				}
+				retry[id] = RetryPolicy{MaxAttempts: 3}
+			}
+
+			sink := &obs.MemSink{}
+			eng, err := New(sc, execs, Options{
+				Guards:  guards,
+				Timeout: 20 * time.Second,
+				Workers: r.Intn(5), // 0 = unlimited
+				Retry:   retry,
+				Events:  sink,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := eng.Run(context.Background())
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, live)
+			}
+
+			replayed, err := TraceFromEvents(sink.Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareTraces(t, live, replayed)
+			if err := replayed.Validate(sc, guards); err != nil {
+				t.Errorf("replayed trace does not validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestTraceFromEventsFailFastTruncation replays runs cut short by the
+// fail-fast cancellation path: a randomly chosen activity fails hard,
+// the run context is canceled, and the truncated event log must still
+// rebuild exactly the live partial trace (started-but-unfinished
+// records included).
+func TestTraceFromEventsFailFastTruncation(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			w := workload.Layered(3+r.Intn(4), 1+r.Intn(8), 0.35, seed).WithDecisions(r.Intn(2))
+			sc, err := w.Constraints()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Desugar(); err != nil {
+				t.Fatal(err)
+			}
+			guards, err := core.DeriveGuards(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			acts := sc.Proc.Activities()
+			victim := acts[r.Intn(len(acts))].ID
+			execs := NoopExecutors(sc.Proc, 100*time.Microsecond, func(core.ActivityID) string { return "T" })
+			execs[victim] = func(ctx context.Context, a *core.Activity, vars *Vars) (Outcome, error) {
+				return Outcome{}, fmt.Errorf("hard failure at %s", victim)
+			}
+
+			sink := &obs.MemSink{}
+			eng, err := New(sc, execs, Options{Guards: guards, Timeout: 20 * time.Second, Events: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := eng.Run(context.Background())
+			if err == nil {
+				t.Fatalf("run with failing %s succeeded", victim)
+			}
+
+			replayed, err := TraceFromEvents(sink.Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareTraces(t, live, replayed)
+
+			// The victim started but never finished, in both views.
+			lr, ok := live.Record(victim)
+			if !ok || lr.FinishSeq != 0 {
+				t.Fatalf("live victim record = %+v, ok=%v", lr, ok)
+			}
+			rr, ok := replayed.Record(victim)
+			if !ok || rr.FinishSeq != 0 || rr.StartSeq != lr.StartSeq {
+				t.Errorf("replayed victim record = %+v, live %+v", rr, lr)
+			}
+		})
+	}
+}

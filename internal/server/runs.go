@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dscweaver/internal/obs"
+)
+
+// RunSummary is the queryable metadata of one weave or simulate run.
+type RunSummary struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"` // "weave" or "simulate"
+	Process string    `json:"process,omitempty"`
+	Began   time.Time `json:"began"`
+	// Status is "running", "ok" or "error".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Events int    `json:"events"`
+}
+
+// run is one tracked run: its summary plus the in-memory event log
+// served by GET /v1/runs/{id}/events.
+type run struct {
+	mu      sync.Mutex
+	summary RunSummary
+	events  *obs.MemSink
+}
+
+func (r *run) setProcess(name string) {
+	r.mu.Lock()
+	r.summary.Process = name
+	r.mu.Unlock()
+}
+
+// finish records the terminal status; a nil err means success.
+func (r *run) finish(err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.summary.Status = "error"
+		r.summary.Error = err.Error()
+	} else {
+		r.summary.Status = "ok"
+	}
+	r.mu.Unlock()
+}
+
+// Summary snapshots the run's metadata, filling the live event count.
+func (r *run) Summary() RunSummary {
+	r.mu.Lock()
+	s := r.summary
+	r.mu.Unlock()
+	s.Events = len(r.events.Events())
+	return s
+}
+
+// runStore is a bounded ring of recent runs: the server keeps the
+// last capacity runs' event logs in memory (the durable copy, when
+// configured, is the rotating JSONL file shared by all runs).
+type runStore struct {
+	mu       sync.Mutex
+	seq      int64
+	capacity int
+	order    []string // run ids, oldest first
+	byID     map[string]*run
+}
+
+func newRunStore(capacity int) *runStore {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &runStore{capacity: capacity, byID: map[string]*run{}}
+}
+
+// New allocates a run and evicts the oldest beyond capacity.
+func (rs *runStore) New(kind string) *run {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.seq++
+	r := &run{
+		summary: RunSummary{
+			ID:     fmt.Sprintf("%s-%06d", kind, rs.seq),
+			Kind:   kind,
+			Began:  time.Now(),
+			Status: "running",
+		},
+		events: &obs.MemSink{},
+	}
+	rs.byID[r.summary.ID] = r
+	rs.order = append(rs.order, r.summary.ID)
+	for len(rs.order) > rs.capacity {
+		delete(rs.byID, rs.order[0])
+		rs.order = rs.order[1:]
+	}
+	return r
+}
+
+// Get looks a run up by id.
+func (rs *runStore) Get(id string) (*run, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r, ok := rs.byID[id]
+	return r, ok
+}
+
+// List returns summaries, newest first.
+func (rs *runStore) List() []RunSummary {
+	rs.mu.Lock()
+	ids := append([]string(nil), rs.order...)
+	rs.mu.Unlock()
+	out := make([]RunSummary, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if r, ok := rs.Get(ids[i]); ok {
+			out = append(out, r.Summary())
+		}
+	}
+	return out
+}

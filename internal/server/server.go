@@ -1,0 +1,444 @@
+// Package server implements dscweaverd, the weave-as-a-service HTTP
+// front end: POST /v1/weave runs the full §5 pipeline (parse → merge →
+// desugar → translate → minimize → Petri-net verdict → optional BPEL),
+// POST /v1/simulate executes the minimal set on the scheduling engine
+// against simulated services, GET /metrics exposes the shared obs
+// registry and GET /v1/runs/{id}/events replays any recent run's event
+// log as JSONL.
+//
+// Hardening: request bodies are size-capped, requests carry a server
+// timeout, weaves run through a bounded worker pool, and Shutdown
+// drains in-flight requests before closing the rotating event sink.
+// The minimizer itself is not context-cancellable, so the request
+// timeout governs pool admission and engine runs; an admitted weave
+// always completes.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscweaver/internal/obs"
+)
+
+// Config tunes one server instance. The zero value is usable:
+// Normalize fills every field with a production-ready default.
+type Config struct {
+	// Addr is the listen address (default ":8421").
+	Addr string
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request end to end: pool admission,
+	// simulation runs and response writing (default 30s).
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds Shutdown's drain of in-flight requests
+	// (default 10s).
+	ShutdownGrace time.Duration
+	// WeaveParallelism is the default minimizer worker count per weave
+	// (0 = GOMAXPROCS, the minimizer's own default).
+	WeaveParallelism int
+	// WeaveConcurrency bounds concurrently running weave/simulate
+	// requests — the worker pool (default GOMAXPROCS).
+	WeaveConcurrency int
+	// RunHistory is how many recent runs keep their event logs
+	// queryable via /v1/runs (default 128).
+	RunHistory int
+	// EventsPath, when set, appends every run's events to a rotating
+	// JSONL log at this path.
+	EventsPath string
+	// LogMaxBytes / LogMaxAge / LogMaxFiles configure the rotation
+	// (zero values take the obs.RotateOptions defaults).
+	LogMaxBytes int64
+	LogMaxAge   time.Duration
+	LogMaxFiles int
+	// Buckets overrides histogram bucket bounds per metric family
+	// name, applied to the registry before any instrument registers.
+	Buckets map[string][]float64
+}
+
+// Normalize fills defaults in place and returns the config.
+func (c Config) Normalize() Config {
+	if c.Addr == "" {
+		c.Addr = ":8421"
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.WeaveConcurrency <= 0 {
+		c.WeaveConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.RunHistory <= 0 {
+		c.RunHistory = 128
+	}
+	return c
+}
+
+// fileConfig is the JSON shape of a config file: durations are strings
+// ("30s", "1h30m") so files stay human-editable.
+type fileConfig struct {
+	Addr             string               `json:"addr"`
+	MaxBodyBytes     int64                `json:"max_body_bytes"`
+	RequestTimeout   string               `json:"request_timeout"`
+	ShutdownGrace    string               `json:"shutdown_grace"`
+	WeaveParallelism int                  `json:"weave_parallelism"`
+	WeaveConcurrency int                  `json:"weave_concurrency"`
+	RunHistory       int                  `json:"run_history"`
+	EventsPath       string               `json:"events_path"`
+	LogMaxBytes      int64                `json:"log_max_bytes"`
+	LogMaxAge        string               `json:"log_max_age"`
+	LogMaxFiles      int                  `json:"log_max_files"`
+	Buckets          map[string][]float64 `json:"buckets"`
+}
+
+// LoadConfig reads a JSON config file. Unknown fields are errors.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var fc fileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return c, fmt.Errorf("config %s: %w", path, err)
+	}
+	c = Config{
+		Addr:             fc.Addr,
+		MaxBodyBytes:     fc.MaxBodyBytes,
+		WeaveParallelism: fc.WeaveParallelism,
+		WeaveConcurrency: fc.WeaveConcurrency,
+		RunHistory:       fc.RunHistory,
+		EventsPath:       fc.EventsPath,
+		LogMaxBytes:      fc.LogMaxBytes,
+		LogMaxFiles:      fc.LogMaxFiles,
+		Buckets:          fc.Buckets,
+	}
+	for _, d := range []struct {
+		raw string
+		dst *time.Duration
+	}{
+		{fc.RequestTimeout, &c.RequestTimeout},
+		{fc.ShutdownGrace, &c.ShutdownGrace},
+		{fc.LogMaxAge, &c.LogMaxAge},
+	} {
+		if d.raw == "" {
+			continue
+		}
+		v, err := time.ParseDuration(d.raw)
+		if err != nil {
+			return c, fmt.Errorf("config %s: %w", path, err)
+		}
+		*d.dst = v
+	}
+	return c, nil
+}
+
+// Server is one dscweaverd instance.
+type Server struct {
+	cfg  Config
+	reg  *obs.Registry
+	runs *runStore
+	rot  *obs.RotatingJSONL // nil unless EventsPath configured
+
+	weaveSem chan struct{}  // bounded weave worker pool
+	wg       sync.WaitGroup // in-flight weave/simulate requests
+	closed   atomic.Bool    // draining: reject new work
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	reqTotal   func(route string, code int) // instrumentation shortcuts
+	reqSeconds func(route string, d time.Duration)
+}
+
+// New builds a server from cfg. Histogram bucket overrides are applied
+// before any metric family registers, so they bind every family the
+// pipeline later creates (weave, engine, bus and server metrics alike).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	reg := obs.NewRegistry()
+	for name, bounds := range cfg.Buckets {
+		if err := reg.OverrideBuckets(name, bounds); err != nil {
+			return nil, fmt.Errorf("bucket override %s: %w", name, err)
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		runs:     newRunStore(cfg.RunHistory),
+		weaveSem: make(chan struct{}, cfg.WeaveConcurrency),
+	}
+	if cfg.EventsPath != "" {
+		rot, err := obs.NewRotatingJSONL(cfg.EventsPath, obs.RotateOptions{
+			MaxBytes: cfg.LogMaxBytes,
+			MaxAge:   cfg.LogMaxAge,
+			MaxFiles: cfg.LogMaxFiles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.rot = rot
+	}
+	requests := func(route string, code int) *obs.Counter {
+		return reg.Counter("server_requests_total", "route", route, "code", strconv.Itoa(code))
+	}
+	seconds := func(route string) *obs.Histogram {
+		return reg.Histogram("server_request_seconds",
+			[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}, "route", route)
+	}
+	s.reqTotal = func(route string, code int) { requests(route, code).Inc() }
+	s.reqSeconds = func(route string, d time.Duration) { seconds(route).Observe(d.Seconds()) }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/runs", s.instrument("runs", s.handleRuns))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("run_events", s.handleRunEvents))
+	mux.HandleFunc("POST /v1/weave", s.instrument("weave", s.handleWeave))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux = mux
+	return s, nil
+}
+
+// Registry exposes the server's metric registry (tests scrape it
+// directly; /metrics serves it over HTTP).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the routed handler — usable with httptest without
+// binding a socket.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body-size limiting, the per-request
+// timeout and the server request metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(sw, r)
+		s.reqTotal(route, sw.code)
+		s.reqSeconds(route, time.Since(began))
+	}
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders {"error": ...}. Oversized bodies surface as 413.
+func writeError(w http.ResponseWriter, code int, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.runs.List())
+}
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.runs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, e := range rn.events.Events() {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+}
+
+// admit reserves a weave pool slot and registers the request with the
+// drain group. It fails when the server is draining or the slot does
+// not free up within the request deadline.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.closed.Load() {
+		return nil, errors.New("server draining")
+	}
+	s.wg.Add(1)
+	// Shutdown may have flipped closed between the check and the Add;
+	// re-checking keeps the drain's wg.Wait from racing new work.
+	if s.closed.Load() {
+		s.wg.Done()
+		return nil, errors.New("server draining")
+	}
+	select {
+	case s.weaveSem <- struct{}{}:
+		return func() {
+			<-s.weaveSem
+			s.wg.Done()
+		}, nil
+	case <-ctx.Done():
+		s.wg.Done()
+		return nil, fmt.Errorf("weave pool congested: %w", ctx.Err())
+	}
+}
+
+// sinkFor builds a run's event sink: its in-memory log plus, when
+// configured, the shared rotating JSONL file.
+func (s *Server) sinkFor(rn *run) obs.Sink {
+	if s.rot == nil {
+		return rn.events
+	}
+	return obs.MultiSink(rn.events, s.rot)
+}
+
+func (s *Server) handleWeave(w http.ResponseWriter, r *http.Request) {
+	q, err := decodeWeaveRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer release()
+
+	rn := s.runs.New("weave")
+	out, err := s.runWeave(q, s.sinkFor(rn))
+	if err != nil {
+		rn.finish(err)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rn.setProcess(out.proc.Name)
+	resp, err := buildWeaveResponse(q, out, rn.Summary().ID)
+	rn.finish(err)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	q, err := decodeSimulateRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer release()
+
+	rn := s.runs.New("simulate")
+	resp, err := s.runSimulation(r.Context(), q, rn, s.sinkFor(rn))
+	if err != nil {
+		rn.finish(err)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if resp.Error != "" {
+		rn.finish(errors.New(resp.Error))
+	} else {
+		rn.finish(nil)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ListenAndServe runs the server until ctx is canceled, then drains
+// via Shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	s.httpSrv = &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return s.Shutdown()
+	}
+}
+
+// Shutdown drains the server: new requests are rejected, the listener
+// (when serving) stops accepting, in-flight weaves and simulations run
+// to completion bounded by ShutdownGrace, and the rotating event sink
+// is closed last so every drained run's events hit the log.
+func (s *Server) Shutdown() error {
+	s.closed.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = errors.Join(err, fmt.Errorf("drain: %w", ctx.Err()))
+	}
+	if s.rot != nil {
+		err = errors.Join(err, s.rot.Close())
+	}
+	return err
+}

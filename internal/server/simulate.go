@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/schedule"
+	"dscweaver/internal/services"
+)
+
+// SimulateRequest is the body of POST /v1/simulate: a weave request
+// plus execution inputs. The server weaves the source, registers a
+// simulated service per declared service, and executes the minimal
+// constraint set on the scheduling engine against them.
+type SimulateRequest struct {
+	WeaveRequest
+	// Inputs seeds the variable store (client receives read from it).
+	// Missing client-receive variables are auto-seeded with
+	// placeholders so a bare document simulates out of the box.
+	Inputs map[string]any `json:"inputs,omitempty"`
+	// Branches forces decision outcomes by decision id; unforced
+	// decisions take the branch carried by their predicate variable,
+	// falling back to the first branch of their domain.
+	Branches map[string]string `json:"branches,omitempty"`
+	// LatencyUS is the simulated per-invocation service latency in
+	// microseconds; WorkUS the per-activity local computation time.
+	LatencyUS int `json:"latency_us,omitempty"`
+	WorkUS    int `json:"work_us,omitempty"`
+	// TimeoutMS bounds the engine run (default 10s, capped by the
+	// server's request timeout either way).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var q SimulateRequest
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if err := q.WeaveRequest.validate(); err != nil {
+		return nil, err
+	}
+	if q.LatencyUS < 0 || q.WorkUS < 0 || q.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative duration")
+	}
+	return &q, nil
+}
+
+// SimulateResponse is the body of POST /v1/simulate. A run that fails
+// (fault, timeout, unsound set deadlocking) still returns 200 with
+// Error set and the partial trace: the event log and trace are the
+// diagnostic artifacts.
+type SimulateResponse struct {
+	RunID       string   `json:"run_id"`
+	Process     string   `json:"process"`
+	Executed    []string `json:"executed"`
+	Skipped     []string `json:"skipped,omitempty"`
+	MaxParallel int      `json:"max_parallel"`
+	MakespanNS  int64    `json:"makespan_ns"`
+	// Valid reports the trace validating against the full
+	// pre-minimization constraint set — the runtime face of Def. 5
+	// equivalence.
+	Valid bool   `json:"valid"`
+	Error string `json:"error,omitempty"`
+	// Trace is the full serialized trace (schedule.TraceJSON).
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// simulatedBus registers one generic simulated service per service
+// declared in the process: each emits the callbacks the process's
+// receive activities listen for (tag = the variable the receive
+// writes). A callback variable read by a decision carries that
+// decision's resolved branch so the control flow downstream matches
+// the forced outcome; other callbacks carry placeholder payloads.
+// Sequential services keep their in-order port verification, so a
+// wrongly minimized set fails the conversation exactly like the
+// paper's state-aware Purchase service.
+func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
+	bus := services.NewBus(0).Observe(reg, sink)
+	for _, svc := range proc.Services() {
+		var emits []services.Emit
+		for _, act := range proc.Activities() {
+			if act.Kind != core.KindReceive || act.Service != svc.Name || len(act.Writes) == 0 {
+				continue
+			}
+			tag := act.Writes[0]
+			emits = append(emits, services.Emit{Tag: tag, Payload: payloadFor(proc, tag, branches)})
+		}
+		cfg := services.Config{
+			Name:       svc.Name,
+			Ports:      svc.Ports,
+			Sequential: svc.SequentialPorts,
+			Latency:    latency,
+		}
+		if len(emits) > 0 {
+			cfg.Handle = func(c *services.Call) ([]services.Emit, error) {
+				// Emit each reply once per conversation, on the first
+				// invocation that reaches the handler.
+				if done, _ := c.State["emitted"].(bool); done {
+					return nil, nil
+				}
+				c.State["emitted"] = true
+				return emits, nil
+			}
+		}
+		if err := bus.Register(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return bus, nil
+}
+
+// payloadFor chooses a callback payload: the resolved branch when a
+// decision reads the variable, a placeholder otherwise.
+func payloadFor(proc *core.Process, variable string, branches map[string]string) any {
+	for _, act := range proc.Decisions() {
+		if len(act.Reads) > 0 && act.Reads[0] == variable {
+			return resolveBranch(act, branches)
+		}
+	}
+	return fmt.Sprintf("sim(%s)", variable)
+}
+
+// resolveBranch picks a decision's outcome: the forced branch when
+// valid, the first domain branch otherwise.
+func resolveBranch(act *core.Activity, branches map[string]string) string {
+	domain := act.BranchDomain()
+	if b, ok := branches[string(act.ID)]; ok {
+		for _, d := range domain {
+			if d == b {
+				return b
+			}
+		}
+	}
+	return domain[0]
+}
+
+// runSimulation weaves the request and executes the minimal set
+// against the simulated services. It returns the response and the
+// engine error, which is reported in-band.
+func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run, sink obs.Sink) (*SimulateResponse, error) {
+	out, err := s.runWeave(&q.WeaveRequest, sink)
+	if err != nil {
+		return nil, err
+	}
+	rn.setProcess(out.proc.Name)
+
+	latency := time.Duration(q.LatencyUS) * time.Microsecond
+	work := time.Duration(q.WorkUS) * time.Microsecond
+	timeout := 10 * time.Second
+	if q.TimeoutMS > 0 {
+		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
+	}
+
+	bus, err := simulatedBus(out.proc, q.Branches, latency, s.reg, sink)
+	if err != nil {
+		return nil, err
+	}
+	binding := schedule.NewBinding(bus)
+	// The bus must close before the binding: Close drains accepted
+	// invocations, then the dispatcher's inbox loop ends.
+	defer binding.Close()
+	defer bus.Close()
+
+	inputs := map[string]any{}
+	for k, v := range q.Inputs {
+		inputs[k] = v
+	}
+	for _, act := range out.proc.Activities() {
+		if act.Kind == core.KindReceive && act.Service == "" && len(act.Writes) > 0 {
+			if _, ok := inputs[act.Writes[0]]; !ok {
+				inputs[act.Writes[0]] = fmt.Sprintf("input(%s)", act.Writes[0])
+			}
+		}
+	}
+
+	execs := binding.Executors(out.proc, work)
+	overrideDecisions(out.proc, execs, q.Branches)
+
+	eng, err := schedule.New(out.res.Minimal, execs, schedule.Options{
+		Guards:  out.guards,
+		Inputs:  inputs,
+		Timeout: timeout,
+		Metrics: s.reg,
+		Events:  sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, runErr := eng.Run(ctx)
+
+	resp := &SimulateResponse{
+		RunID:       rn.Summary().ID,
+		Process:     out.proc.Name,
+		MaxParallel: tr.MaxParallel,
+		MakespanNS:  int64(tr.Makespan()),
+	}
+	for _, id := range tr.Executed() {
+		resp.Executed = append(resp.Executed, string(id))
+	}
+	for _, id := range tr.SkippedActivities() {
+		resp.Skipped = append(resp.Skipped, string(id))
+	}
+	if runErr != nil {
+		resp.Error = runErr.Error()
+	} else if err := tr.Validate(out.asc, out.guards); err != nil {
+		resp.Error = fmt.Sprintf("trace validation: %v", err)
+	} else {
+		resp.Valid = true
+	}
+	if data, err := tr.MarshalJSON(); err == nil {
+		resp.Trace = data
+	}
+	return resp, nil
+}
+
+// overrideDecisions wraps decision executors so simulation never
+// fails on an unresolvable predicate: a valid branch carried by the
+// predicate variable wins, then a forced branch, then the first of
+// the domain.
+func overrideDecisions(proc *core.Process, execs map[core.ActivityID]schedule.Executor, branches map[string]string) {
+	for _, act := range proc.Decisions() {
+		act := act
+		inner := execs[act.ID]
+		domain := act.BranchDomain()
+		execs[act.ID] = func(ctx context.Context, a *core.Activity, vars *schedule.Vars) (schedule.Outcome, error) {
+			if out, err := inner(ctx, a, vars); err == nil {
+				for _, d := range domain {
+					if d == out.Branch {
+						return out, nil
+					}
+				}
+			}
+			return schedule.Outcome{Branch: resolveBranch(act, branches)}, nil
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dscweaver/internal/bpel"
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+	"dscweaver/internal/dscl"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/pdg"
+	"dscweaver/internal/petri"
+)
+
+// maxParallelism caps the per-request minimizer worker count so a
+// client cannot ask one weave for thousands of goroutines.
+const maxParallelism = 256
+
+// WeaveRequest is the body of POST /v1/weave (and, embedded, of
+// /v1/simulate): a process description plus pipeline options.
+type WeaveRequest struct {
+	// Source is the process text.
+	Source string `json:"source"`
+	// Lang selects the front end: "dscl" (default) or "seqlang"
+	// (sequencing constructs, dependencies extracted via PDG).
+	Lang string `json:"lang,omitempty"`
+	// Validate runs Petri-net soundness checking (default true).
+	Validate *bool `json:"validate,omitempty"`
+	// BPEL emits a generated BPEL document in the response;
+	// Structured folds unconditional chains into <sequence> constructs.
+	BPEL       bool `json:"bpel,omitempty"`
+	Structured bool `json:"structured,omitempty"`
+	// Parallelism overrides the server's minimizer worker count for
+	// this request (0 = server default, capped at 256).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+func (q *WeaveRequest) validate() error {
+	if q.Source == "" {
+		return fmt.Errorf("empty source")
+	}
+	switch q.Lang {
+	case "", "dscl", "seqlang":
+	default:
+		return fmt.Errorf("unknown lang %q (want dscl or seqlang)", q.Lang)
+	}
+	if q.Parallelism < 0 || q.Parallelism > maxParallelism {
+		return fmt.Errorf("parallelism %d out of range [0, %d]", q.Parallelism, maxParallelism)
+	}
+	return nil
+}
+
+func (q *WeaveRequest) wantValidate() bool { return q.Validate == nil || *q.Validate }
+
+// decodeWeaveRequest parses a request body strictly: unknown fields
+// and trailing garbage are errors, so client typos fail loudly
+// instead of silently weaving with defaults.
+func decodeWeaveRequest(body io.Reader) (*WeaveRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var q WeaveRequest
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after request object")
+	}
+	return nil
+}
+
+// WeaveResponse is the body of a successful POST /v1/weave.
+type WeaveResponse struct {
+	RunID      string `json:"run_id"`
+	Process    string `json:"process"`
+	Activities int    `json:"activities"`
+
+	MergedConstraints     int `json:"merged_constraints"`
+	TranslatedConstraints int `json:"translated_constraints"`
+	MinimalConstraints    int `json:"minimal_constraints"`
+	Removed               int `json:"removed"`
+	EquivalenceChecks     int `json:"equivalence_checks"`
+
+	// Minimal renders the minimal constraint set, one constraint per
+	// entry, in the minimizer's deterministic order.
+	Minimal []string `json:"minimal"`
+
+	// Sound carries the Petri-net verdict when validation ran.
+	Sound     *bool    `json:"sound,omitempty"`
+	States    int      `json:"states,omitempty"`
+	Deadlocks []string `json:"deadlocks,omitempty"`
+
+	BPEL string `json:"bpel,omitempty"`
+}
+
+// weaveOutput bundles every pipeline artifact a handler needs: the
+// simulate path reuses the weave and then drives the engine against
+// the full pre-minimization set for validation.
+type weaveOutput struct {
+	proc   *core.Process
+	merged *core.ConstraintSet // desugared
+	guards map[core.Node]cond.Expr
+	asc    *core.ConstraintSet // after service translation
+	res    *core.MinimizeResult
+}
+
+// runWeave executes the full §5 pipeline on a request: front end,
+// merge, desugar, guard derivation, service translation and
+// minimization, with the minimizer instrumented into the server
+// registry and the run's event sink.
+func (s *Server) runWeave(q *WeaveRequest, sink obs.Sink) (*weaveOutput, error) {
+	var (
+		proc *core.Process
+		sc   *core.ConstraintSet
+	)
+	if q.Lang == "seqlang" {
+		ex, err := pdg.Extract(q.Source)
+		if err != nil {
+			return nil, err
+		}
+		proc = ex.Proc
+		sc, err = core.Merge(proc, ex.Deps)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		doc, err := dscl.Load(q.Source)
+		if err != nil {
+			return nil, err
+		}
+		proc = doc.Proc
+		sc, err = doc.ConstraintSet()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Desugar(); err != nil {
+		return nil, err
+	}
+	guards, err := core.DeriveGuards(sc)
+	if err != nil {
+		return nil, err
+	}
+	asc, err := core.TranslateServices(sc)
+	if err != nil {
+		return nil, err
+	}
+	parallelism := q.Parallelism
+	if parallelism == 0 {
+		parallelism = s.cfg.WeaveParallelism
+	}
+	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{
+		Parallelism: parallelism,
+		Metrics:     s.reg,
+		Events:      sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &weaveOutput{proc: proc, merged: sc, guards: guards, asc: asc, res: res}, nil
+}
+
+// buildWeaveResponse renders a weave's artifacts, running the
+// optional Petri-net validation and BPEL generation.
+func buildWeaveResponse(q *WeaveRequest, out *weaveOutput, runID string) (*WeaveResponse, error) {
+	resp := &WeaveResponse{
+		RunID:                 runID,
+		Process:               out.proc.Name,
+		Activities:            len(out.proc.Activities()),
+		MergedConstraints:     out.merged.Len(),
+		TranslatedConstraints: out.asc.Len(),
+		MinimalConstraints:    out.res.Minimal.Len(),
+		Removed:               len(out.res.Removed),
+		EquivalenceChecks:     out.res.EquivalenceChecks,
+	}
+	for _, c := range out.res.Minimal.Constraints() {
+		resp.Minimal = append(resp.Minimal, c.String())
+	}
+	if q.wantValidate() {
+		rep, err := petri.Validate(out.res.Minimal, out.guards)
+		if err != nil {
+			return nil, fmt.Errorf("petri validation: %w", err)
+		}
+		sound := rep.Sound
+		resp.Sound = &sound
+		resp.States = rep.StateSpace.States
+		resp.Deadlocks = rep.Deadlocks
+	}
+	if q.BPEL {
+		var doc *bpel.Process
+		var err error
+		if q.Structured {
+			doc, err = bpel.GenerateStructured(out.res.Minimal, out.guards)
+		} else {
+			doc, err = bpel.Generate(out.res.Minimal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bpel generation: %w", err)
+		}
+		if err := bpel.Validate(doc); err != nil {
+			return nil, fmt.Errorf("bpel validation: %w", err)
+		}
+		data, err := bpel.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		resp.BPEL = string(bytes.TrimSpace(data))
+	}
+	return resp, nil
+}

@@ -266,10 +266,16 @@ func (b *Bus) process(s *service, st *serviceState, inv invocation) {
 		idx, known := s.portIdx[inv.port]
 		if known {
 			if idx != st.next {
+				// st.next may equal len(Ports): the conversation already
+				// completed and any further invocation is out of order.
+				expected := "none (conversation complete)"
+				if st.next < len(s.cfg.Ports) {
+					expected = s.cfg.Ports[st.next]
+				}
 				b.deliver(Callback{
 					Service: s.cfg.Name, Tag: inv.port,
 					Err: fmt.Errorf("services: %s.%s arrived before port %s: %w",
-						s.cfg.Name, inv.port, s.cfg.Ports[st.next], ErrOutOfOrder),
+						s.cfg.Name, inv.port, expected, ErrOutOfOrder),
 				})
 				return
 			}

@@ -4,9 +4,12 @@
 # worker count, cache configuration, ns/op, annotated-closure pair
 # comparisons and closure-cache hits. Also runs the scheduler
 # observability-overhead benchmark and writes BENCH_schedule.json with
-# the obs=off / obs=on ns/op pair and the overhead percentage.
+# the obs=off / obs=on ns/op pair and the overhead percentage. Finally
+# runs the dscweaverd weave-throughput benchmark and writes
+# BENCH_server.json with req/sec at minimizer parallelism 1 vs
+# GOMAXPROCS.
 #
-#   scripts/bench.sh [minimize-output.json] [schedule-output.json]
+#   scripts/bench.sh [minimize-output.json] [schedule-output.json] [server-output.json]
 #
 # BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
 # to include the n=1024 rows (minutes per op). SCHED_BENCHTIME (default
@@ -17,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_minimize.json}"
 sched_out="${2:-BENCH_schedule.json}"
+server_out="${3:-BENCH_server.json}"
 benchtime="${BENCHTIME:-1x}"
 sched_benchtime="${SCHED_BENCHTIME:-20x}"
 raw="$(mktemp)"
@@ -81,3 +85,36 @@ END {
 ' "$sched_raw" > "$sched_out"
 
 echo "wrote $sched_out (overhead $(grep -o '"overhead_pct": [0-9.-]*' "$sched_out" | cut -d' ' -f2)%)"
+
+server_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sched_raw" "$server_raw"' EXIT
+server_benchtime="${SERVER_BENCHTIME:-10x}"
+
+go test -run '^$' -bench 'BenchmarkServerWeave' -benchtime "$server_benchtime" -timeout 0 . | tee "$server_raw"
+
+awk '
+/^BenchmarkServerWeave\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    parallel = 0
+    split(name, parts, "/")
+    for (i in parts) {
+        if (parts[i] ~ /^parallel=/) { split(parts[i], kv, "="); parallel = kv[2] }
+    }
+    ns = 0
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op") ns = $i
+    }
+    if (ns == 0) next
+    recs[++count] = sprintf("  {\"name\": \"%s\", \"parallelism\": %d, \"ns_per_op\": %.0f, \"req_per_sec\": %.1f}",
+                            name, parallel, ns, 1e9 / ns)
+}
+END {
+    if (count == 0) { print "missing server benchmark rows" > "/dev/stderr"; exit 1 }
+    print "["
+    for (i = 1; i <= count; i++) printf("%s%s\n", recs[i], i < count ? "," : "")
+    print "]"
+}
+' "$server_raw" > "$server_out"
+
+echo "wrote $server_out ($(grep -c '"name"' "$server_out") records)"
