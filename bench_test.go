@@ -29,6 +29,8 @@ import (
 	"dscweaver/internal/server"
 	"dscweaver/internal/services"
 	"dscweaver/internal/sim"
+	"dscweaver/internal/weave"
+	"dscweaver/internal/weave/front"
 	"dscweaver/internal/workload"
 	"dscweaver/internal/wscl"
 )
@@ -147,7 +149,7 @@ func BenchmarkPetriSoundnessMinimal(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := petri.Validate(res.Minimal, guards)
+		rep, err := petri.Validate(context.Background(), res.Minimal, guards)
 		if err != nil || !rep.Sound {
 			b.Fatalf("unsound: %v", err)
 		}
@@ -277,7 +279,7 @@ func BenchmarkMinimizeParallel(b *testing.B) {
 				}
 				var pairs, hits float64
 				for i := 0; i < b.N; i++ {
-					res, err := core.MinimizeOpt(sc, cfg.opts)
+					res, err := core.MinimizeOpt(context.Background(), sc, cfg.opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -311,7 +313,7 @@ func BenchmarkAblationGuardContext(b *testing.B) {
 		b.Run(variant.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := core.MinimizeOpt(asc, core.MinimizeOptions{StrictAnnotations: variant.strict})
+				res, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{StrictAnnotations: variant.strict})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -627,6 +629,51 @@ func mustRead(b *testing.B, path string) string {
 		b.Fatal(err)
 	}
 	return string(data)
+}
+
+// BenchmarkWeavePipelineStages times the canonical internal/weave
+// pipeline end to end and attributes the cost per stage through the
+// Result's stage ledger: each stage's mean wall-clock lands as a
+// <stage>-ns/op metric next to the whole-run ns/op. The purchasing row
+// runs every stage (parse through BPEL) on the paper fixture; the
+// layered row runs the core path (merge through minimize) on the Bench
+// C exact-conditional shape at 256 activities, where minimize is
+// expected to dominate the ledger by orders of magnitude.
+// scripts/bench.sh parses this into BENCH_weave.json.
+func BenchmarkWeavePipelineStages(b *testing.B) {
+	report := func(b *testing.B, run func() (*weave.Result, error)) {
+		stageNS := map[string]float64{}
+		var order []string
+		for i := 0; i < b.N; i++ {
+			res, err := run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, st := range res.Stages {
+				if _, seen := stageNS[st.Stage]; !seen {
+					order = append(order, st.Stage)
+				}
+				stageNS[st.Stage] += float64(st.Duration)
+			}
+		}
+		for _, st := range order {
+			b.ReportMetric(stageNS[st]/float64(b.N), st+"-ns/op")
+		}
+	}
+	b.Run("purchasing/full", func(b *testing.B) {
+		src := mustRead(b, "internal/dscl/testdata/purchasing.dscl")
+		opts := weave.Options{Frontend: front.DSCL, Validate: true, BPEL: true}
+		report(b, func() (*weave.Result, error) {
+			return weave.Run(context.Background(), weave.Input{Source: src}, opts)
+		})
+	})
+	b.Run("layered/activities=256", func(b *testing.B) {
+		w := workload.Layered(64, 4, 0.3, 42).WithShortcuts(64).WithDecisions(2)
+		parsed := &weave.Parsed{Proc: w.Proc, Deps: w.Deps}
+		report(b, func() (*weave.Result, error) {
+			return weave.Run(context.Background(), weave.Input{Parsed: parsed}, weave.Options{})
+		})
+	})
 }
 
 // BenchmarkServerWeave measures dscweaverd's weave request throughput

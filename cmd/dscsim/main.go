@@ -16,21 +16,26 @@
 //	                 transitive equivalence (Definition 5). To quantify
 //	                 the gain over sequencing constructs instead, see
 //	                 examples/concurrency.
+//	-parallel N      minimization worker count (0 = GOMAXPROCS); the
+//	                 minimal set is identical for every value
 //	-metrics FILE    write Prometheus-style minimizer metrics ("-" = stdout)
 //	-events FILE     write the JSONL minimizer event log ("-" = stdout)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"dscweaver/internal/core"
 	"dscweaver/internal/dscl"
 	"dscweaver/internal/obs"
 	"dscweaver/internal/sim"
+	"dscweaver/internal/weave"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 	maxLat := flag.Duration("max", 5*time.Millisecond, "maximum activity latency")
 	branch := flag.String("branch", "", "force every decision to this branch (empty = uniform sampling)")
 	compare := flag.Bool("compare", true, "also estimate the unoptimized set (equivalence check: the distributions must match)")
+	parallel := flag.Int("parallel", 0, "minimization worker count (0 = GOMAXPROCS, 1 = sequential); the minimal set is identical for every value")
 	metricsOut := flag.String("metrics", "", "write Prometheus-style minimizer metrics to this file (\"-\" = stdout)")
 	eventsOut := flag.String("events", "", "write the JSONL minimizer event log to this file (\"-\" = stdout)")
 	flag.Parse()
@@ -73,10 +79,17 @@ func main() {
 		sink = eventLog
 	}
 
-	asc, res, err := doc.WeaveOpt(core.MinimizeOptions{Metrics: reg, Events: sink})
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	wres, err := weave.Run(ctx, weave.Input{Parsed: doc.Parsed()}, weave.Options{
+		Parallelism: *parallel,
+		Metrics:     reg,
+		Events:      sink,
+	})
 	if err != nil {
 		fail(err)
 	}
+	asc, res := wres.Translated, wres.Minimize
 
 	study := sim.Study{
 		Trials:  *trials,

@@ -5,6 +5,11 @@
 // stage (§4.1), and optionally emit BPEL and execute the process with
 // no-op activities.
 //
+// The pipeline itself is internal/weave — the same stages the server
+// and the other tools run — executed under a signal context, so an
+// interrupt (Ctrl-C) aborts the minimizer or the Petri exploration
+// mid-flight instead of waiting the run out.
+//
 // Usage:
 //
 //	dscweaver [flags] process.dscl
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,9 +40,9 @@ import (
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
 	"dscweaver/internal/obs"
-	"dscweaver/internal/pdg"
-	"dscweaver/internal/petri"
 	"dscweaver/internal/schedule"
+	"dscweaver/internal/weave"
+	"dscweaver/internal/weave/front"
 )
 
 func main() {
@@ -65,6 +71,9 @@ func main() {
 		fail(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
@@ -80,71 +89,57 @@ func main() {
 		sink = eventLog
 	}
 
-	var proc *core.Process
-	var sc *core.ConstraintSet
+	lang := "dscl"
 	if *seqlang {
-		ex, err := pdg.Extract(string(src))
-		if err != nil {
-			fail(err)
-		}
-		proc = ex.Proc
-		sc, err = core.Merge(proc, ex.Deps)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("extracted %d dependencies from sequencing constructs\n", ex.Deps.Len())
+		lang = "seqlang"
+	}
+	fe, err := front.ByLang(lang)
+	if err != nil {
+		fail(err)
+	}
+	res, err := weave.Run(ctx, weave.Input{Source: string(src)}, weave.Options{
+		Frontend:       fe,
+		Parallelism:    *parallel,
+		Validate:       *validate,
+		BPEL:           *bpelOut != "",
+		StructuredBPEL: *structured,
+		Metrics:        reg,
+		Events:         sink,
+	})
+	if err != nil {
+		fail(err)
+	}
+	proc := res.Parsed.Proc
+	asc := res.Translated
+	min := res.Minimize
+
+	if *seqlang {
+		fmt.Printf("extracted %d dependencies from sequencing constructs\n", res.Parsed.Deps.Len())
 	} else {
-		doc, err := dscl.Load(string(src))
-		if err != nil {
-			fail(err)
-		}
-		proc = doc.Proc
-		sc, err = doc.ConstraintSet()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("loaded %d dependencies, %d raw constraints\n", doc.Deps.Len(), doc.Extra.Len())
+		fmt.Printf("loaded %d dependencies, %d raw constraints\n", res.Parsed.Deps.Len(), res.Parsed.Extra.Len())
 	}
-
-	if err := sc.Desugar(); err != nil {
-		fail(err)
-	}
-	fmt.Printf("merged constraint set: %d constraints\n", sc.Len())
+	fmt.Printf("merged constraint set: %d constraints\n", res.Merged.Len())
 	if *verbose {
-		fmt.Println(dscl.PrintConstraints(sc))
+		fmt.Println(dscl.PrintConstraints(res.Merged))
 		fmt.Println()
-	}
-
-	guards, err := core.DeriveGuards(sc)
-	if err != nil {
-		fail(err)
-	}
-
-	asc, err := core.TranslateServices(sc)
-	if err != nil {
-		fail(err)
 	}
 	fmt.Printf("after service translation:  %d constraints\n", asc.Len())
-
-	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: *parallel, Metrics: reg, Events: sink})
-	if err != nil {
-		fail(err)
-	}
 	fmt.Printf("minimal constraint set:     %d constraints (%d removed, %d equivalence checks)\n",
-		res.Minimal.Len(), len(res.Removed), res.EquivalenceChecks)
+		min.Minimal.Len(), len(min.Removed), min.EquivalenceChecks)
 	if *verbose {
 		fmt.Printf("minimizer engine:           %d workers, %d/%d closure-cache hits/misses, %d equivalence-memo hits\n",
-			res.Workers, res.ClosureCacheHits, res.ClosureCacheMisses, res.CondMemoHits)
-	}
-	if *verbose {
-		fmt.Println(dscl.PrintConstraints(res.Minimal))
+			min.Workers, min.ClosureCacheHits, min.ClosureCacheMisses, min.CondMemoHits)
+		fmt.Println(dscl.PrintConstraints(min.Minimal))
 		fmt.Println()
+		for _, st := range res.Stages {
+			fmt.Printf("stage %-10s %v\n", st.Stage, st.Duration.Round(time.Microsecond))
+		}
 	}
 
-	if *validate {
-		rep, err := petri.Validate(res.Minimal, guards)
-		if err != nil {
-			fail(err)
+	if rep := res.Soundness; rep != nil {
+		if rep.StateSpace.Truncated {
+			fmt.Fprintf(os.Stderr, "WARNING: state space truncated at %d states — soundness not certified; raise the exploration budget\n",
+				rep.StateSpace.States)
 		}
 		if !rep.Sound {
 			fmt.Fprintf(os.Stderr, "validation FAILED: deadlocks=%v noCompletion=%v\n", rep.Deadlocks, rep.NoCompletion)
@@ -154,7 +149,7 @@ func main() {
 	}
 
 	if *explain != "" {
-		removals, err := core.ExplainRemovals(res)
+		removals, err := core.ExplainRemovals(min)
 		if err != nil {
 			fail(err)
 		}
@@ -167,7 +162,7 @@ func main() {
 	}
 
 	if *decentralize {
-		cmp, err := decentral.Compare(asc, res.Minimal, decentral.Pin(proc))
+		cmp, err := decentral.Compare(asc, min.Minimal, decentral.Pin(proc))
 		if err != nil {
 			fail(err)
 		}
@@ -177,34 +172,17 @@ func main() {
 	}
 
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(core.ConstraintDOT(proc.Name, res.Minimal)), 0o644); err != nil {
+		if err := os.WriteFile(*dotOut, []byte(core.ConstraintDOT(proc.Name, min.Minimal)), 0o644); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
 	}
 
 	if *bpelOut != "" {
-		var doc *bpel.Process
-		var err error
-		if *structured {
-			doc, err = bpel.GenerateStructured(res.Minimal, guards)
-		} else {
-			doc, err = bpel.Generate(res.Minimal)
-		}
-		if err != nil {
+		if err := os.WriteFile(*bpelOut, res.BPELXML, 0o644); err != nil {
 			fail(err)
 		}
-		if err := bpel.Validate(doc); err != nil {
-			fail(err)
-		}
-		data, err := bpel.Marshal(doc)
-		if err != nil {
-			fail(err)
-		}
-		if err := os.WriteFile(*bpelOut, data, 0o644); err != nil {
-			fail(err)
-		}
-		stats := bpel.Summarize(doc)
+		stats := bpel.Summarize(res.BPELDoc)
 		fmt.Printf("wrote %s: %d activities, %d links (%d conditional)", *bpelOut,
 			stats.Activities, stats.Links, stats.Conditional)
 		if stats.Sequences > 0 {
@@ -215,15 +193,15 @@ func main() {
 
 	if *run {
 		execs := schedule.NoopExecutors(proc, time.Millisecond, nil)
-		eng, err := schedule.New(res.Minimal, execs, schedule.Options{Guards: guards, Timeout: 30 * time.Second, Metrics: reg, Events: sink})
+		eng, err := schedule.New(min.Minimal, execs, schedule.Options{Guards: res.Guards, Timeout: 30 * time.Second, Metrics: reg, Events: sink})
 		if err != nil {
 			fail(err)
 		}
-		tr, err := eng.Run(context.Background())
+		tr, err := eng.Run(ctx)
 		if err != nil {
 			fail(err)
 		}
-		if err := tr.Validate(asc, guards); err != nil {
+		if err := tr.Validate(asc, res.Guards); err != nil {
 			fail(err)
 		}
 		fmt.Printf("executed: %d activities ran, %d skipped, makespan %v, peak parallelism %d\n",

@@ -38,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep, err := petri.Validate(res.Minimal, guards)
+	rep, err := petri.Validate(context.Background(), res.Minimal, guards)
 	if err != nil {
 		log.Fatal(err)
 	}

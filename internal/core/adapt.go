@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dscweaver/internal/cond"
@@ -82,7 +83,7 @@ func (a *Adapter) recompute() error {
 	if err != nil {
 		return err
 	}
-	res, err := MinimizeOpt(full, a.opts)
+	res, err := MinimizeOpt(context.Background(), full, a.opts)
 	if err != nil {
 		return err
 	}
@@ -192,7 +193,7 @@ func (a *Adapter) Add(dep Dependency) (*ChangeResult, error) {
 			continue
 		}
 		res.EquivalenceChecks++
-		removable, _, err := pg.edgeRedundantN(u, v, resolveWorkers(a.opts.Parallelism))
+		removable, _, err := pg.edgeRedundantN(context.Background(), u, v, resolveWorkers(a.opts.Parallelism))
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +305,7 @@ func (a *Adapter) Remove(dep Dependency) (*ChangeResult, error) {
 		}
 		u, v := pg.pointID(c.From), pg.pointID(c.To)
 		res.EquivalenceChecks++
-		removable, _, err := pg.edgeRedundantN(u, v, resolveWorkers(a.opts.Parallelism))
+		removable, _, err := pg.edgeRedundantN(context.Background(), u, v, resolveWorkers(a.opts.Parallelism))
 		if err != nil {
 			return nil, err
 		}

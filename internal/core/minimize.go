@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +10,32 @@ import (
 	"dscweaver/internal/graph"
 	"dscweaver/internal/obs"
 )
+
+// CancelError is the error MinimizeOpt returns when its context is
+// canceled mid-run: a partial-progress report alongside the context's
+// own error. errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// sees through it via Unwrap.
+type CancelError struct {
+	// Cause is the context's error.
+	Cause error
+	// Checked counts candidate equivalence checks completed before the
+	// abort; Removed counts the removals among them that landed. The
+	// removals applied so far are always a prefix of the removal
+	// sequence an uncancelled run would perform (the candidate loop is
+	// deterministic).
+	Checked int
+	Removed int
+	// Elapsed is the run time up to the abort.
+	Elapsed time.Duration
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("minimize: canceled after %d equivalence checks (%d removals, %v): %v",
+		e.Checked, e.Removed, e.Elapsed.Round(time.Microsecond), e.Cause)
+}
+
+// Unwrap exposes the context error.
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // MinimizeResult reports the outcome of a minimization run.
 type MinimizeResult struct {
@@ -83,6 +111,13 @@ func Minimize(sc *ConstraintSet) (*MinimizeResult, error) {
 	return MinimizeWithGuards(sc, nil)
 }
 
+// ErrCanceled reports whether err is a cancellation (a *CancelError or
+// a bare context error), so call sites can distinguish an aborted run
+// from a malformed input.
+func ErrCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // MinimizeOptions tunes the minimization algorithm; the zero value is
 // the paper-faithful configuration (the engine options — Parallelism,
 // NoCache — never change the result, only how fast it is computed).
@@ -124,11 +159,22 @@ type MinimizeOptions struct {
 // MinimizeWithGuards is Minimize with an explicit guard context. A nil
 // guards map derives guards from the set itself.
 func MinimizeWithGuards(sc *ConstraintSet, guards map[Node]cond.Expr) (*MinimizeResult, error) {
-	return MinimizeOpt(sc, MinimizeOptions{Guards: guards})
+	return MinimizeOpt(context.Background(), sc, MinimizeOptions{Guards: guards})
 }
 
-// MinimizeOpt is Minimize with full options.
-func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, error) {
+// MinimizeOpt is Minimize with full options and cooperative
+// cancellation: ctx is checked once per candidate in the outer loop
+// and inside every candidate's closure-sweep worker pool, so a
+// canceled run aborts within one per-source sweep. On cancellation the
+// returned error is a *CancelError carrying the partial progress (the
+// removals applied so far are a prefix of the uncancelled run's
+// deterministic removal sequence). An uncancelled run is bit-identical
+// to Minimize for every engine configuration. A nil ctx behaves as
+// context.Background().
+func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, c := range sc.Constraints() {
 		if c.Rel == HappenTogether {
 			return nil, fmt.Errorf("minimize: HappenTogether constraint %s: call Desugar first", c)
@@ -163,9 +209,21 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 	// removals land. The paper's algorithm is order-dependent in
 	// general (minimal sets are not unique); insertion order makes
 	// runs deterministic.
+	cancelErr := func(cause error) error {
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("minimize_canceled_total").Inc()
+		}
+		emit(obs.Event{Kind: obs.EvMinimizeEnd, Detail: sc.Proc.Name,
+			Err: cause.Error(), Value: float64(len(res.Removed)), DurNS: int64(time.Since(began))})
+		return &CancelError{Cause: cause, Checked: res.EquivalenceChecks,
+			Removed: len(res.Removed), Elapsed: time.Since(began)}
+	}
 	for _, c := range sc.Constraints() {
 		if c.Rel != HappenBefore {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, cancelErr(err)
 		}
 		u := pg.pointID(c.From)
 		v := pg.pointID(c.To)
@@ -174,9 +232,13 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 		}
 		res.EquivalenceChecks++
 		checkBegan := time.Now()
-		removable, pairs, err := pg.edgeRedundantN(u, v, workers)
+		removable, pairs, err := pg.edgeRedundantN(ctx, u, v, workers)
 		res.PairComparisons += pairs
 		if err != nil {
+			if ErrCanceled(err) {
+				res.EquivalenceChecks-- // the aborted check did not complete
+				return nil, cancelErr(err)
+			}
 			return nil, err
 		}
 		verdict := obs.EvCandidateKept
@@ -229,7 +291,7 @@ func MinimizeOpt(sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, erro
 // is the inline single-worker form of edgeRedundantN (see
 // minimize_parallel.go).
 func (pg *pointGraph) edgeRedundant(u, v int) (bool, int, error) {
-	return pg.edgeRedundantN(u, v, 1)
+	return pg.edgeRedundantN(context.Background(), u, v, 1)
 }
 
 // ancestorsOf returns all points that reach x by a nonempty path.

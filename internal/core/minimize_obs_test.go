@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dscweaver/internal/obs"
@@ -19,7 +20,7 @@ func TestMinimizeObservability(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	var sink obs.MemSink
-	res, err := MinimizeOpt(s, MinimizeOptions{Metrics: reg, Events: &sink})
+	res, err := MinimizeOpt(context.Background(), s, MinimizeOptions{Metrics: reg, Events: &sink})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,7 +37,13 @@ func resolveWorkers(parallelism int) int {
 // one sweep per target when it has few descendants. The seed-faithful
 // NoCache baseline and the strict-annotations ablation always sweep
 // forward, like the paper's algorithm.
-func (pg *pointGraph) edgeRedundantN(u, v, workers int) (bool, int, error) {
+//
+// Cancellation: ctx aborts the check between items (sequential path)
+// or through the pool's shared early-cancel flag (parallel path, via
+// context.AfterFunc, so workers pay no per-item ctx lookup). A
+// context-aborted check returns ctx.Err() — never a verdict computed
+// from an incomplete scan.
+func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bool, int, error) {
 	skip := [2]int{u, v}
 
 	// Points that reach u, found on the reverse graph by DFS, plus u.
@@ -79,6 +86,9 @@ func (pg *pointGraph) edgeRedundantN(u, v, workers int) (bool, int, error) {
 		pairs := 0
 		var scratch []cond.Expr
 		for _, it := range items {
+			if err := ctx.Err(); err != nil {
+				return false, pairs, err
+			}
 			ok, p, buf, err := check(it, scratch, nil)
 			scratch = buf
 			pairs += p
@@ -98,6 +108,11 @@ func (pg *pointGraph) edgeRedundantN(u, v, workers int) (bool, int, error) {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	// Context cancellation flips the same flag workers already poll
+	// between targets, so an external abort stops the pool exactly as
+	// promptly as an inequivalent pair does.
+	stop := context.AfterFunc(ctx, func() { cancel.Store(true) })
+	defer stop()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -125,6 +140,13 @@ func (pg *pointGraph) edgeRedundantN(u, v, workers int) (bool, int, error) {
 		}()
 	}
 	wg.Wait()
+	// A context abort poisons the verdict: workers may have bailed
+	// mid-scan, so neither "equivalent" nor "inequivalent" is
+	// trustworthy. The ctx error wins over a worker error, which may
+	// itself be a casualty of the abort.
+	if err := ctx.Err(); err != nil {
+		return false, int(pairs.Load()), err
+	}
 	if firstErr != nil {
 		return false, int(pairs.Load()), firstErr
 	}

@@ -7,6 +7,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestMinimizeParallelMatchesSequential(t *testing.T) {
 			// (seed-algorithm) cross-check runs only on the smaller
 			// sizes — it re-derives every closure per candidate and
 			// dominates wall-clock at n=256.
-			ref, err := core.MinimizeOpt(sc, core.MinimizeOptions{Parallelism: 1})
+			ref, err := core.MinimizeOpt(context.Background(), sc, core.MinimizeOptions{Parallelism: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +93,7 @@ func TestMinimizeParallelMatchesSequential(t *testing.T) {
 			}
 			results := map[string]*core.MinimizeResult{"cached-sequential": ref}
 			for _, variant := range variants {
-				res, err := core.MinimizeOpt(sc, variant.opts)
+				res, err := core.MinimizeOpt(context.Background(), sc, variant.opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -130,12 +131,12 @@ func TestMinimizeParallelPurchasing(t *testing.T) {
 	if seqRes.Minimal.Len() != 17 {
 		t.Fatalf("purchasing minimal = %d constraints, want 17", seqRes.Minimal.Len())
 	}
-	naive, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: 1, NoCache: true})
+	naive, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{Parallelism: 1, NoCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 4, 8} {
-		res, err := core.MinimizeOpt(asc, core.MinimizeOptions{Parallelism: workers})
+		res, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{Parallelism: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

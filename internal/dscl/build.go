@@ -1,10 +1,12 @@
 package dscl
 
 import (
+	"context"
 	"fmt"
 
 	"dscweaver/internal/cond"
 	"dscweaver/internal/core"
+	"dscweaver/internal/weave"
 )
 
 // Document is the semantic result of loading a DSCL file: the process
@@ -238,9 +240,16 @@ func (d *Document) ConstraintSet() (*core.ConstraintSet, error) {
 	return sc, nil
 }
 
+// Parsed adapts the document to the weave pipeline's pre-parsed input
+// shape.
+func (d *Document) Parsed() *weave.Parsed {
+	return &weave.Parsed{Proc: d.Proc, Deps: d.Deps, Extra: d.Extra}
+}
+
 // Weave runs the document through the full optimization pipeline:
 // merge, desugar, service translation, minimization. It returns the
-// translated ASC and the minimization result.
+// translated ASC and the minimization result. Both Weave and WeaveOpt
+// are thin wrappers over internal/weave — the one canonical pipeline.
 func (d *Document) Weave() (*core.ConstraintSet, *core.MinimizeResult, error) {
 	return d.WeaveOpt(core.MinimizeOptions{})
 }
@@ -249,20 +258,16 @@ func (d *Document) Weave() (*core.ConstraintSet, *core.MinimizeResult, error) {
 // cache configuration, observability); the minimal set is identical
 // for every engine configuration.
 func (d *Document) WeaveOpt(opts core.MinimizeOptions) (*core.ConstraintSet, *core.MinimizeResult, error) {
-	sc, err := d.ConstraintSet()
+	res, err := weave.Run(context.Background(), weave.Input{Parsed: d.Parsed()}, weave.Options{
+		Guards:            opts.Guards,
+		Parallelism:       opts.Parallelism,
+		NoCache:           opts.NoCache,
+		StrictAnnotations: opts.StrictAnnotations,
+		Metrics:           opts.Metrics,
+		Events:            opts.Events,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := sc.Desugar(); err != nil {
-		return nil, nil, err
-	}
-	asc, err := core.TranslateServices(sc)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := core.MinimizeOpt(asc, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return asc, res, nil
+	return res.Translated, res.Minimize, nil
 }

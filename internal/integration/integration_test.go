@@ -119,7 +119,7 @@ func TestEveryBackEndAcceptsTheMinimalSet(t *testing.T) {
 	guards := res.Guards
 
 	// Petri validation.
-	rep, err := petri.Validate(res.Minimal, guards)
+	rep, err := petri.Validate(context.Background(), res.Minimal, guards)
 	if err != nil || !rep.Sound {
 		t.Fatalf("petri: %v %+v", err, rep)
 	}
@@ -136,7 +136,7 @@ func TestEveryBackEndAcceptsTheMinimalSet(t *testing.T) {
 	if err := net.CheckInvariants(invs, 0); err != nil {
 		t.Fatal(err)
 	}
-	cov, err := net.Coverability(1 << 19)
+	cov, err := net.Coverability(context.Background(), 1<<19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestObservabilityRoundTripPurchasing(t *testing.T) {
 	log := obs.NewJSONLWriter(f)
 
 	// Minimizer layer: re-minimize the ASC with instrumentation on.
-	if _, err := core.MinimizeOpt(asc, core.MinimizeOptions{Metrics: reg, Events: log}); err != nil {
+	if _, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{Metrics: reg, Events: log}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -42,6 +42,7 @@ const (
 	LayerEngine   = "engine"
 	LayerBus      = "bus"
 	LayerMinimize = "minimize"
+	LayerWeave    = "weave"
 )
 
 // Event kinds.
@@ -69,6 +70,13 @@ const (
 	EvMinimizeEnd      = "minimize_end"
 	EvCandidateKept    = "candidate_kept"
 	EvCandidateRemoved = "candidate_removed"
+
+	// Weave pipeline lifecycle (Detail = stage name for stage events,
+	// process name for weave_end; Err carries the abort cause).
+	EvWeaveBegin = "weave_begin"
+	EvWeaveEnd   = "weave_end"
+	EvStageBegin = "stage_begin"
+	EvStageEnd   = "stage_end"
 )
 
 var (

@@ -133,7 +133,7 @@ func TestAllPatternsSound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", pat.Name, err)
 		}
-		rep, err := petri.Validate(pat.SC, guards)
+		rep, err := petri.Validate(context.Background(), pat.SC, guards)
 		if err != nil {
 			t.Fatalf("%s: %v", pat.Name, err)
 		}

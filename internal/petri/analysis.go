@@ -1,9 +1,25 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
+
+// ctxCheckEvery is how many explored states sit between context
+// checks in the state-space kernels: rare enough that the per-state
+// cost is one integer mask, frequent enough that a cancellation
+// aborts within microseconds of exploration work.
+const ctxCheckEvery = 1024
+
+// ctxErrEvery returns ctx.Err() when n is on a check boundary (and
+// tolerates a nil ctx).
+func ctxErrEvery(ctx context.Context, n int) error {
+	if n%ctxCheckEvery != 0 || ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // StateSpace is the result of an explicit-state exploration.
 type StateSpace struct {
@@ -45,8 +61,9 @@ type ExploreOptions struct {
 }
 
 // Explore performs a breadth-first reachability analysis from the
-// initial marking.
-func (n *Net) Explore(opts ExploreOptions) (*StateSpace, error) {
+// initial marking. ctx is checked every ctxCheckEvery states alongside
+// MaxStates; a canceled exploration returns ctx.Err().
+func (n *Net) Explore(ctx context.Context, opts ExploreOptions) (*StateSpace, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 1 << 20
 	}
@@ -65,6 +82,9 @@ func (n *Net) Explore(opts ExploreOptions) (*StateSpace, error) {
 		m := queue[0]
 		queue = queue[1:]
 		ss.States++
+		if err := ctxErrEvery(ctx, ss.States); err != nil {
+			return nil, err
+		}
 		for p := range n.places {
 			if k := m.Tokens(PlaceID(p)); k > ss.MaxTokens {
 				ss.MaxTokens = k
@@ -132,7 +152,11 @@ type SoundnessReport struct {
 // Dead transitions are reported through the embedded StateSpace but do
 // not make a net unsound here: the builder intentionally emits guard
 // variants for branch assignments that a particular run never takes.
-func (n *Net) CheckSoundness(opts ExploreOptions) (*SoundnessReport, error) {
+//
+// ctx is checked every ctxCheckEvery explored states alongside
+// MaxStates; a canceled check returns ctx.Err() rather than a verdict
+// from a partial exploration.
+func (n *Net) CheckSoundness(ctx context.Context, opts ExploreOptions) (*SoundnessReport, error) {
 	if opts.Final == nil {
 		return nil, fmt.Errorf("petri: CheckSoundness requires a Final predicate")
 	}
@@ -156,6 +180,9 @@ func (n *Net) CheckSoundness(opts ExploreOptions) (*SoundnessReport, error) {
 	truncated := false
 
 	for i := 0; i < len(nodes); i++ {
+		if err := ctxErrEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		m := nodes[i].m
 		enabled := n.Enabled(m)
 		nodes[i].final = opts.Final(m)

@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -253,13 +254,22 @@ func guardAssignments(guard cond.Expr, domains cond.Domains, proc *core.Process)
 // Validate builds the net for the constraint set and checks workflow
 // soundness: completion (all activities determined) must remain
 // reachable from every reachable marking, with no deadlocks. This is
-// the design-time conflict detection of §4.1.
-func Validate(sc *core.ConstraintSet, guards map[core.Node]cond.Expr) (*SoundnessReport, error) {
+// the design-time conflict detection of §4.1. ctx aborts the
+// underlying state-space exploration.
+func Validate(ctx context.Context, sc *core.ConstraintSet, guards map[core.Node]cond.Expr) (*SoundnessReport, error) {
+	return ValidateOpt(ctx, sc, guards, ExploreOptions{})
+}
+
+// ValidateOpt is Validate with explicit exploration options (MaxStates
+// most usefully); the Final predicate is always the all-activities-
+// determined completion marking and any caller-supplied one is
+// ignored.
+func ValidateOpt(ctx context.Context, sc *core.ConstraintSet, guards map[core.Node]cond.Expr, opts ExploreOptions) (*SoundnessReport, error) {
 	n, m, err := Build(sc, guards)
 	if err != nil {
 		return nil, err
 	}
-	final := func(mk Marking) bool {
+	opts.Final = func(mk Marking) bool {
 		for _, p := range m.Done {
 			if mk.Tokens(p) == 0 {
 				return false
@@ -267,5 +277,5 @@ func Validate(sc *core.ConstraintSet, guards map[core.Node]cond.Expr) (*Soundnes
 		}
 		return true
 	}
-	return n.CheckSoundness(ExploreOptions{Final: final})
+	return n.CheckSoundness(ctx, opts)
 }

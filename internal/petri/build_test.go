@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"testing"
 
 	"dscweaver/internal/cond"
@@ -35,7 +36,7 @@ func TestPurchasingASCSound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Validate(asc, buildGuards(t, asc))
+	rep, err := Validate(context.Background(), asc, buildGuards(t, asc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPurchasingMinimalSound(t *testing.T) {
 	}
 	// Guards come from the pre-minimization set (control edges may
 	// have been shed).
-	rep, err := Validate(res.Minimal, buildGuards(t, asc))
+	rep, err := Validate(context.Background(), res.Minimal, buildGuards(t, asc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestCyclicConstraintsDeadlock(t *testing.T) {
 	s.Before("b", "a", core.Data)
 	// The optimizer rejects cyclic sets; the net-level check must also
 	// catch them (the paper's "infinite synchronization sequence").
-	rep, err := Validate(s, nil)
+	rep, err := Validate(context.Background(), s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestExclusiveConstraintEnforcedInNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := n.Explore(ExploreOptions{})
+	ss, err := n.Explore(context.Background(), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestExclusiveConstraintEnforcedInNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss2, err := n2.Explore(ExploreOptions{})
+	ss2, err := n2.Explore(context.Background(), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestDeadPathEliminationInNet(t *testing.T) {
 	// x is guarded by dec=T; y inherits no control edge directly, so
 	// its guard is ⊤ — it waits for x's edge which is produced even
 	// when x is skipped (dead-path elimination).
-	rep, err := Validate(s, guards)
+	rep, err := Validate(context.Background(), s, guards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestStateLevelConstraintInNet(t *testing.T) {
 			}
 		}
 	}
-	rep, err := Validate(s, nil)
+	rep, err := Validate(context.Background(), s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestGuardedDecisionSkipPropagation(t *testing.T) {
 		To: core.PointOf("inner", core.Start), Cond: cond.Lit("outer", "T"), Origins: []core.Dimension{core.Control}})
 	s.Add(core.Constraint{Rel: core.HappenBefore, From: core.PointOf("inner", core.Finish),
 		To: core.PointOf("leaf", core.Start), Cond: cond.Lit("inner", "T"), Origins: []core.Dimension{core.Control}})
-	rep, err := Validate(s, buildGuards(t, s))
+	rep, err := Validate(context.Background(), s, buildGuards(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}

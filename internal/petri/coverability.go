@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -240,8 +241,9 @@ type CoverabilityReport struct {
 // Coverability runs the Karp–Miller coverability construction: a
 // definitive boundedness decision for the net (colored tokens are
 // treated per (place, color) pair). maxNodes bounds the tree (default
-// 1 << 18).
-func (n *Net) Coverability(maxNodes int) (*CoverabilityReport, error) {
+// 1 << 18). ctx is checked every ctxCheckEvery expanded nodes
+// alongside maxNodes; a canceled construction returns ctx.Err().
+func (n *Net) Coverability(ctx context.Context, maxNodes int) (*CoverabilityReport, error) {
 	if maxNodes <= 0 {
 		maxNodes = 1 << 18
 	}
@@ -256,6 +258,9 @@ func (n *Net) Coverability(maxNodes int) (*CoverabilityReport, error) {
 	omega := map[PlaceID]bool{}
 
 	for i := 0; i < len(nodes); i++ {
+		if err := ctxErrEvery(ctx, i); err != nil {
+			return nil, err
+		}
 		cur := nodes[i]
 		rep.Nodes++
 		for t := range n.transitions {

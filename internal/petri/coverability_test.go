@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"testing"
 
 	"dscweaver/internal/core"
@@ -9,7 +10,7 @@ import (
 
 func TestCoverabilityBoundedLine(t *testing.T) {
 	n, _, _ := lineNet()
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestCoverabilityDetectsGenerator(t *testing.T) {
 	seed := n.AddPlace("seed", "")
 	sink := n.AddPlace("sink")
 	n.AddTransition("gen", Read(seed, ""), Out(sink, ""))
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestCoverabilitySelfFeedingLoop(t *testing.T) {
 	n := New()
 	p := n.AddPlace("p", "")
 	n.AddTransition("dup", In(p, ""), Out(p, ""), Out(p, ""))
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestCoverabilityConservativeLoop(t *testing.T) {
 	p1 := n.AddPlace("p1")
 	n.AddTransition("fwd", In(p0, ""), Out(p1, ""))
 	n.AddTransition("back", In(p1, ""), Out(p0, ""))
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestCoverabilityColoredUnbounded(t *testing.T) {
 	seed := n.AddPlace("seed", "go")
 	sink := n.AddPlace("sink")
 	n.AddTransition("gen", Read(seed, "go"), Out(sink, "red"))
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestCoverabilityPurchasingBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := n.Coverability(1 << 19)
+	rep, err := n.Coverability(context.Background(), 1<<19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCoverabilityNodeLimit(t *testing.T) {
 	other := n.AddPlace("other")
 	n.AddTransition("gen", Read(seed, ""), Out(sink, ""))
 	n.AddTransition("gen2", Read(seed, ""), Out(other, ""))
-	rep, err := n.Coverability(2)
+	rep, err := n.Coverability(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package petri_test
 
 import (
+	"context"
 	"fmt"
 
 	"dscweaver/internal/core"
@@ -16,7 +17,7 @@ func ExampleValidate() {
 	sc := core.NewConstraintSet(proc)
 	sc.Before("a", "b", core.Data)
 
-	rep, err := petri.Validate(sc, nil)
+	rep, err := petri.Validate(context.Background(), sc, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -33,7 +34,7 @@ func ExampleNet_Coverability() {
 	sink := n.AddPlace("sink")
 	n.AddTransition("gen", petri.Read(seed, ""), petri.Out(sink, ""))
 
-	rep, err := n.Coverability(0)
+	rep, err := n.Coverability(context.Background(), 0)
 	if err != nil {
 		panic(err)
 	}

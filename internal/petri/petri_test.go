@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -138,7 +139,7 @@ func TestMarkingKeyCanonical(t *testing.T) {
 
 func TestExploreLine(t *testing.T) {
 	n, ps, _ := lineNet()
-	ss, err := n.Explore(ExploreOptions{Final: func(m Marking) bool { return m.Tokens(ps[2]) == 1 }})
+	ss, err := n.Explore(context.Background(), ExploreOptions{Final: func(m Marking) bool { return m.Tokens(ps[2]) == 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestExploreDetectsDeadlock(t *testing.T) {
 	never := n.AddPlace("never")
 	n.AddTransition("t0", In(p0, ""), Out(p1, ""))
 	dead := n.AddTransition("blocked", In(never, ""), Out(p0, ""))
-	ss, err := n.Explore(ExploreOptions{})
+	ss, err := n.Explore(context.Background(), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestExploreUnboundedGenerator(t *testing.T) {
 	seed := n.AddPlace("seed", "")
 	sink := n.AddPlace("sink")
 	n.AddTransition("gen", Read(seed, ""), Out(sink, ""))
-	ss, err := n.Explore(ExploreOptions{MaxStates: 64, Bound: 8})
+	ss, err := n.Explore(context.Background(), ExploreOptions{MaxStates: 64, Bound: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestExploreUnboundedGenerator(t *testing.T) {
 
 func TestCheckSoundnessSoundNet(t *testing.T) {
 	n, ps, _ := lineNet()
-	rep, err := n.CheckSoundness(ExploreOptions{Final: func(m Marking) bool { return m.Tokens(ps[2]) == 1 }})
+	rep, err := n.CheckSoundness(context.Background(), ExploreOptions{Final: func(m Marking) bool { return m.Tokens(ps[2]) == 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestCheckSoundnessDeadlock(t *testing.T) {
 	n.AddTransition("trap", In(p0, ""), Out(stuckPre, ""))
 	n.AddTransition("finish", In(good, ""), Out(done, ""))
 	n.AddTransition("blocked", In(stuckPre, ""), In(never, ""), Out(done, ""))
-	rep, err := n.CheckSoundness(ExploreOptions{Final: func(m Marking) bool { return m.Tokens(done) == 1 }})
+	rep, err := n.CheckSoundness(context.Background(), ExploreOptions{Final: func(m Marking) bool { return m.Tokens(done) == 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestCheckSoundnessDeadlock(t *testing.T) {
 
 func TestCheckSoundnessNoCompletion(t *testing.T) {
 	n, _, _ := lineNet()
-	rep, err := n.CheckSoundness(ExploreOptions{Final: func(m Marking) bool { return false }})
+	rep, err := n.CheckSoundness(context.Background(), ExploreOptions{Final: func(m Marking) bool { return false }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestCheckSoundnessNoCompletion(t *testing.T) {
 
 func TestCheckSoundnessRequiresFinal(t *testing.T) {
 	n, _, _ := lineNet()
-	if _, err := n.CheckSoundness(ExploreOptions{}); err == nil {
+	if _, err := n.CheckSoundness(context.Background(), ExploreOptions{}); err == nil {
 		t.Error("CheckSoundness accepted nil Final")
 	}
 }

@@ -187,6 +187,11 @@ func MinimalEdges() []struct {
 // Pipeline runs the full optimization pipeline on the fixture:
 // merge (Figure 7) → service translation (Figure 8) → minimization
 // (Figure 9). It returns all three stages.
+//
+// The fixture deliberately stays below internal/weave in the import
+// graph (the weave pipeline's own packages test against it), so this
+// assembles the same stages by hand; weave's pipeline tests assert the
+// two paths stay bit-identical.
 func Pipeline() (merged, translated *core.ConstraintSet, result *core.MinimizeResult, err error) {
 	proc := Process()
 	merged, err = core.Merge(proc, Dependencies())

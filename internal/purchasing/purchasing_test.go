@@ -1,6 +1,7 @@
 package purchasing
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -261,7 +262,7 @@ func TestAblationStrictAnnotationsStopsAt20(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{StrictAnnotations: true})
+	res, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{StrictAnnotations: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -185,11 +186,11 @@ func Soundness() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	repASC, err := petri.Validate(asc, guards)
+	repASC, err := petri.Validate(context.Background(), asc, guards)
 	if err != nil {
 		return Result{}, err
 	}
-	repMin, err := petri.Validate(res.Minimal, guards)
+	repMin, err := petri.Validate(context.Background(), res.Minimal, guards)
 	if err != nil {
 		return Result{}, err
 	}
@@ -242,7 +243,7 @@ func Ablation() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	strict, err := core.MinimizeOpt(asc, core.MinimizeOptions{StrictAnnotations: true})
+	strict, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{StrictAnnotations: true})
 	if err != nil {
 		return Result{}, err
 	}

@@ -37,7 +37,7 @@ func TestQuickEngineAgreesWithPetriValidator(t *testing.T) {
 			return false
 		}
 
-		rep, err := petri.Validate(res.Minimal, res.Guards)
+		rep, err := petri.Validate(context.Background(), res.Minimal, res.Guards)
 		if err != nil || !rep.Sound {
 			t.Logf("seed %d: petri validator rejects minimal set: %v %+v", seed, err, rep)
 			return false

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -78,14 +79,13 @@ func FuzzWeaveRequestDecoder(f *testing.F) {
 			return
 		}
 		s := fuzzServerInstance(t)
-		out, err := s.runWeave(q, obs.NopSink{})
+		// The full pipeline runs behind the handler (validate + BPEL
+		// stages included); a weird but parseable process may
+		// legitimately error — only panics and hangs are failures.
+		out, err := s.runWeave(context.Background(), q, obs.NopSink{}, true)
 		if err != nil {
 			return
 		}
-		if _, err := buildWeaveResponse(q, out, "fuzz-000000"); err != nil {
-			// Pipeline stages may legitimately reject a weird but
-			// parseable process; only panics are failures.
-			return
-		}
+		_ = buildWeaveResponse(out, "fuzz-000000")
 	})
 }

@@ -9,9 +9,11 @@
 // Hardening: request bodies are size-capped, requests carry a server
 // timeout, weaves run through a bounded worker pool, and Shutdown
 // drains in-flight requests before closing the rotating event sink.
-// The minimizer itself is not context-cancellable, so the request
-// timeout governs pool admission and engine runs; an admitted weave
-// always completes.
+// Every weave runs under its request context: a dropped client
+// connection or the request timeout aborts the minimizer and the
+// Petri exploration mid-flight (freeing the pool slot), and Shutdown
+// escalates from a graceful drain to aborting the survivors once the
+// drain deadline passes (see DESIGN.md, "Drain protocol").
 package server
 
 import (
@@ -28,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dscweaver/internal/core"
 	"dscweaver/internal/obs"
 )
 
@@ -161,6 +164,13 @@ type Server struct {
 	wg       sync.WaitGroup // in-flight weave/simulate requests
 	closed   atomic.Bool    // draining: reject new work
 
+	// abortCtx is canceled when Shutdown's drain deadline passes: every
+	// in-flight weave context is derived from the request context AND
+	// this signal, so a stubborn drain aborts the heavy kernels instead
+	// of waiting them out.
+	abortCtx context.Context
+	abortAll context.CancelFunc
+
 	mux     *http.ServeMux
 	httpSrv *http.Server
 
@@ -185,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 		runs:     newRunStore(cfg.RunHistory),
 		weaveSem: make(chan struct{}, cfg.WeaveConcurrency),
 	}
+	s.abortCtx, s.abortAll = context.WithCancel(context.Background())
 	if cfg.EventsPath != "" {
 		rot, err := obs.NewRotatingJSONL(cfg.EventsPath, obs.RotateOptions{
 			MaxBytes: cfg.LogMaxBytes,
@@ -330,6 +341,25 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// weaveContext derives the pipeline context for one admitted request:
+// the request context (client disconnect, request timeout) joined
+// with the server-wide drain abort signal.
+func (s *Server) weaveContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.abortCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// weaveStatus maps a pipeline error to an HTTP status: a canceled or
+// timed-out weave is a service condition (503), everything else is a
+// problem with the submitted process (422).
+func weaveStatus(err error) int {
+	if core.ErrCanceled(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // sinkFor builds a run's event sink: its in-memory log plus, when
 // configured, the shared rotating JSONL file.
 func (s *Server) sinkFor(rn *run) obs.Sink {
@@ -352,20 +382,18 @@ func (s *Server) handleWeave(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	ctx, cancel := s.weaveContext(r.Context())
+	defer cancel()
 	rn := s.runs.New("weave")
-	out, err := s.runWeave(q, s.sinkFor(rn))
+	out, err := s.runWeave(ctx, q, s.sinkFor(rn), true)
 	if err != nil {
 		rn.finish(err)
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, weaveStatus(err), err)
 		return
 	}
-	rn.setProcess(out.proc.Name)
-	resp, err := buildWeaveResponse(q, out, rn.Summary().ID)
-	rn.finish(err)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
+	rn.setProcess(out.Parsed.Proc.Name)
+	resp := buildWeaveResponse(out, rn.Summary().ID)
+	rn.finish(nil)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -382,11 +410,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	ctx, cancel := s.weaveContext(r.Context())
+	defer cancel()
 	rn := s.runs.New("simulate")
-	resp, err := s.runSimulation(r.Context(), q, rn, s.sinkFor(rn))
+	resp, err := s.runSimulation(ctx, q, rn, s.sinkFor(rn))
 	if err != nil {
 		rn.finish(err)
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, weaveStatus(err), err)
 		return
 	}
 	if resp.Error != "" {
@@ -415,10 +445,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	}
 }
 
+// abortWait bounds the post-abort drain phase of Shutdown: once the
+// in-flight weave contexts are canceled, the kernels abort at their
+// next context check (microseconds of exploration work), so a short
+// second wait suffices — a request still live past it is stuck
+// somewhere no context reaches.
+const abortWait = time.Second
+
 // Shutdown drains the server: new requests are rejected, the listener
-// (when serving) stops accepting, in-flight weaves and simulations run
-// to completion bounded by ShutdownGrace, and the rotating event sink
-// is closed last so every drained run's events hit the log.
+// (when serving) stops accepting, and in-flight weaves and simulations
+// run to completion bounded by ShutdownGrace. When the grace expires
+// with requests still live, their pipeline contexts are canceled —
+// aborting the minimizer and Petri kernels mid-flight — and the drain
+// waits one short beat more. The rotating event sink closes last so
+// every drained run's events hit the log.
 func (s *Server) Shutdown() error {
 	s.closed.Store(true)
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
@@ -435,7 +475,12 @@ func (s *Server) Shutdown() error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		err = errors.Join(err, fmt.Errorf("drain: %w", ctx.Err()))
+		s.abortAll()
+		select {
+		case <-done:
+		case <-time.After(abortWait):
+			err = errors.Join(err, fmt.Errorf("drain: %w", ctx.Err()))
+		}
 	}
 	if s.rot != nil {
 		err = errors.Join(err, s.rot.Close())

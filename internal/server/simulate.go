@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -34,6 +35,67 @@ type SimulateRequest struct {
 	// TimeoutMS bounds the engine run (default 10s, capped by the
 	// server's request timeout either way).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Services overrides individual simulated services, keyed by the
+	// service name declared in the source. Unknown names are errors.
+	Services map[string]ServiceProfile `json:"services,omitempty"`
+}
+
+// ServiceProfile tunes one simulated service, mirroring the latency
+// and fault-injection knobs of services.Config.
+type ServiceProfile struct {
+	// LatencyUS overrides the request-level latency for this service.
+	LatencyUS int `json:"latency_us,omitempty"`
+	// PortLatencyUS overrides the latency for specific ports.
+	PortLatencyUS map[string]int `json:"port_latency_us,omitempty"`
+	// FailOn makes every invocation of a port fail with the given
+	// message — the paper's §3.2 "exception raised by the service"
+	// scenario.
+	FailOn map[string]string `json:"fail_on,omitempty"`
+	// FailFirst makes the first k invocations of a port fail with a
+	// transient fault, exercising the engine's retry path.
+	FailFirst map[string]int `json:"fail_first,omitempty"`
+}
+
+func (p *ServiceProfile) validate(name string) error {
+	if p.LatencyUS < 0 {
+		return fmt.Errorf("service %q: negative latency", name)
+	}
+	for port, us := range p.PortLatencyUS {
+		if us < 0 {
+			return fmt.Errorf("service %q port %q: negative latency", name, port)
+		}
+	}
+	for port, k := range p.FailFirst {
+		if k < 0 {
+			return fmt.Errorf("service %q port %q: negative fail_first", name, port)
+		}
+	}
+	return nil
+}
+
+// apply folds the profile into a service's bus configuration.
+func (p *ServiceProfile) apply(cfg *services.Config) {
+	if p.LatencyUS > 0 {
+		cfg.Latency = time.Duration(p.LatencyUS) * time.Microsecond
+	}
+	if len(p.PortLatencyUS) > 0 {
+		cfg.PortLatency = map[string]time.Duration{}
+		for port, us := range p.PortLatencyUS {
+			cfg.PortLatency[port] = time.Duration(us) * time.Microsecond
+		}
+	}
+	if len(p.FailOn) > 0 {
+		cfg.FailOn = map[string]error{}
+		for port, msg := range p.FailOn {
+			cfg.FailOn[port] = errors.New(msg)
+		}
+	}
+	if len(p.FailFirst) > 0 {
+		cfg.FailFirst = map[string]int{}
+		for port, k := range p.FailFirst {
+			cfg.FailFirst[port] = k
+		}
+	}
 }
 
 func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
@@ -51,6 +113,11 @@ func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
 	}
 	if q.LatencyUS < 0 || q.WorkUS < 0 || q.TimeoutMS < 0 {
 		return nil, fmt.Errorf("negative duration")
+	}
+	for name, prof := range q.Services {
+		if err := prof.validate(name); err != nil {
+			return nil, err
+		}
 	}
 	return &q, nil
 }
@@ -84,7 +151,38 @@ type SimulateResponse struct {
 // Sequential services keep their in-order port verification, so a
 // wrongly minimized set fails the conversation exactly like the
 // paper's state-aware Purchase service.
-func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
+func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, profiles map[string]ServiceProfile, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
+	for name, prof := range profiles {
+		svc, ok := proc.Service(name)
+		if !ok {
+			return nil, fmt.Errorf("service profile %q: no such service in process %s", name, proc.Name)
+		}
+		ports := map[string]bool{}
+		for _, p := range svc.Ports {
+			ports[p] = true
+		}
+		check := func(port string) error {
+			if !ports[port] {
+				return fmt.Errorf("service profile %q: no such port %q", name, port)
+			}
+			return nil
+		}
+		for port := range prof.PortLatencyUS {
+			if err := check(port); err != nil {
+				return nil, err
+			}
+		}
+		for port := range prof.FailOn {
+			if err := check(port); err != nil {
+				return nil, err
+			}
+		}
+		for port := range prof.FailFirst {
+			if err := check(port); err != nil {
+				return nil, err
+			}
+		}
+	}
 	bus := services.NewBus(0).Observe(reg, sink)
 	for _, svc := range proc.Services() {
 		var emits []services.Emit
@@ -100,6 +198,9 @@ func simulatedBus(proc *core.Process, branches map[string]string, latency time.D
 			Ports:      svc.Ports,
 			Sequential: svc.SequentialPorts,
 			Latency:    latency,
+		}
+		if prof, ok := profiles[svc.Name]; ok {
+			prof.apply(&cfg)
 		}
 		if len(emits) > 0 {
 			cfg.Handle = func(c *services.Call) ([]services.Emit, error) {
@@ -148,11 +249,12 @@ func resolveBranch(act *core.Activity, branches map[string]string) string {
 // against the simulated services. It returns the response and the
 // engine error, which is reported in-band.
 func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run, sink obs.Sink) (*SimulateResponse, error) {
-	out, err := s.runWeave(&q.WeaveRequest, sink)
+	out, err := s.runWeave(ctx, &q.WeaveRequest, sink, false)
 	if err != nil {
 		return nil, err
 	}
-	rn.setProcess(out.proc.Name)
+	proc := out.Parsed.Proc
+	rn.setProcess(proc.Name)
 
 	latency := time.Duration(q.LatencyUS) * time.Microsecond
 	work := time.Duration(q.WorkUS) * time.Microsecond
@@ -161,7 +263,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
 	}
 
-	bus, err := simulatedBus(out.proc, q.Branches, latency, s.reg, sink)
+	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, s.reg, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +277,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 	for k, v := range q.Inputs {
 		inputs[k] = v
 	}
-	for _, act := range out.proc.Activities() {
+	for _, act := range proc.Activities() {
 		if act.Kind == core.KindReceive && act.Service == "" && len(act.Writes) > 0 {
 			if _, ok := inputs[act.Writes[0]]; !ok {
 				inputs[act.Writes[0]] = fmt.Sprintf("input(%s)", act.Writes[0])
@@ -183,11 +285,11 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 		}
 	}
 
-	execs := binding.Executors(out.proc, work)
-	overrideDecisions(out.proc, execs, q.Branches)
+	execs := binding.Executors(proc, work)
+	overrideDecisions(proc, execs, q.Branches)
 
-	eng, err := schedule.New(out.res.Minimal, execs, schedule.Options{
-		Guards:  out.guards,
+	eng, err := schedule.New(out.Minimize.Minimal, execs, schedule.Options{
+		Guards:  out.Guards,
 		Inputs:  inputs,
 		Timeout: timeout,
 		Metrics: s.reg,
@@ -200,7 +302,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 
 	resp := &SimulateResponse{
 		RunID:       rn.Summary().ID,
-		Process:     out.proc.Name,
+		Process:     proc.Name,
 		MaxParallel: tr.MaxParallel,
 		MakespanNS:  int64(tr.Makespan()),
 	}
@@ -212,7 +314,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 	}
 	if runErr != nil {
 		resp.Error = runErr.Error()
-	} else if err := tr.Validate(out.asc, out.guards); err != nil {
+	} else if err := tr.Validate(out.Translated, out.Guards); err != nil {
 		resp.Error = fmt.Sprintf("trace validation: %v", err)
 	} else {
 		resp.Valid = true

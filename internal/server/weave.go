@@ -2,17 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
-	"dscweaver/internal/bpel"
-	"dscweaver/internal/cond"
-	"dscweaver/internal/core"
-	"dscweaver/internal/dscl"
 	"dscweaver/internal/obs"
-	"dscweaver/internal/pdg"
-	"dscweaver/internal/petri"
+	"dscweaver/internal/weave"
+	"dscweaver/internal/weave/front"
 )
 
 // maxParallelism caps the per-request minimizer worker count so a
@@ -42,9 +39,7 @@ func (q *WeaveRequest) validate() error {
 	if q.Source == "" {
 		return fmt.Errorf("empty source")
 	}
-	switch q.Lang {
-	case "", "dscl", "seqlang":
-	default:
+	if _, err := front.ByLang(q.Lang); err != nil {
 		return fmt.Errorf("unknown lang %q (want dscl or seqlang)", q.Lang)
 	}
 	if q.Parallelism < 0 || q.Parallelism > maxParallelism {
@@ -98,125 +93,75 @@ type WeaveResponse struct {
 	Minimal []string `json:"minimal"`
 
 	// Sound carries the Petri-net verdict when validation ran.
+	// Truncated flags a verdict from a MaxStates-capped exploration: the
+	// set was NOT certified sound (Sound is false) but no conflict was
+	// exhibited either — the exploration simply ran out of budget.
 	Sound     *bool    `json:"sound,omitempty"`
 	States    int      `json:"states,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
 	Deadlocks []string `json:"deadlocks,omitempty"`
 
 	BPEL string `json:"bpel,omitempty"`
 }
 
-// weaveOutput bundles every pipeline artifact a handler needs: the
-// simulate path reuses the weave and then drives the engine against
-// the full pre-minimization set for validation.
-type weaveOutput struct {
-	proc   *core.Process
-	merged *core.ConstraintSet // desugared
-	guards map[core.Node]cond.Expr
-	asc    *core.ConstraintSet // after service translation
-	res    *core.MinimizeResult
-}
-
-// runWeave executes the full §5 pipeline on a request: front end,
-// merge, desugar, guard derivation, service translation and
-// minimization, with the minimizer instrumented into the server
-// registry and the run's event sink.
-func (s *Server) runWeave(q *WeaveRequest, sink obs.Sink) (*weaveOutput, error) {
-	var (
-		proc *core.Process
-		sc   *core.ConstraintSet
-	)
-	if q.Lang == "seqlang" {
-		ex, err := pdg.Extract(q.Source)
-		if err != nil {
-			return nil, err
-		}
-		proc = ex.Proc
-		sc, err = core.Merge(proc, ex.Deps)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		doc, err := dscl.Load(q.Source)
-		if err != nil {
-			return nil, err
-		}
-		proc = doc.Proc
-		sc, err = doc.ConstraintSet()
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := sc.Desugar(); err != nil {
-		return nil, err
-	}
-	guards, err := core.DeriveGuards(sc)
-	if err != nil {
-		return nil, err
-	}
-	asc, err := core.TranslateServices(sc)
-	if err != nil {
-		return nil, err
-	}
+// weaveOptions builds the pipeline configuration for one request.
+// withOutputs gates the validate/BPEL stages: the simulate path runs
+// only through minimization (it checks the result at runtime by
+// validating the executed trace instead).
+func (s *Server) weaveOptions(q *WeaveRequest, sink obs.Sink, withOutputs bool) weave.Options {
+	fe, _ := front.ByLang(q.Lang) // lang was validated at decode time
 	parallelism := q.Parallelism
 	if parallelism == 0 {
 		parallelism = s.cfg.WeaveParallelism
 	}
-	res, err := core.MinimizeOpt(asc, core.MinimizeOptions{
+	opts := weave.Options{
+		Frontend:    fe,
 		Parallelism: parallelism,
 		Metrics:     s.reg,
 		Events:      sink,
-	})
-	if err != nil {
-		return nil, err
 	}
-	return &weaveOutput{proc: proc, merged: sc, guards: guards, asc: asc, res: res}, nil
+	if withOutputs {
+		opts.Validate = q.wantValidate()
+		opts.BPEL = q.BPEL
+		opts.StructuredBPEL = q.Structured
+	}
+	return opts
 }
 
-// buildWeaveResponse renders a weave's artifacts, running the
-// optional Petri-net validation and BPEL generation.
-func buildWeaveResponse(q *WeaveRequest, out *weaveOutput, runID string) (*WeaveResponse, error) {
+// runWeave executes the canonical §5 pipeline (internal/weave) on a
+// request, with ctx threaded through every stage: a dropped client
+// connection, the request timeout or the drain-deadline abort cancels
+// the minimizer's candidate loop and the Petri exploration mid-flight
+// instead of letting an admitted weave run to completion.
+func (s *Server) runWeave(ctx context.Context, q *WeaveRequest, sink obs.Sink, withOutputs bool) (*weave.Result, error) {
+	return weave.Run(ctx, weave.Input{Source: q.Source}, s.weaveOptions(q, sink, withOutputs))
+}
+
+// buildWeaveResponse renders a completed pipeline run.
+func buildWeaveResponse(res *weave.Result, runID string) *WeaveResponse {
+	min := res.Minimize
 	resp := &WeaveResponse{
 		RunID:                 runID,
-		Process:               out.proc.Name,
-		Activities:            len(out.proc.Activities()),
-		MergedConstraints:     out.merged.Len(),
-		TranslatedConstraints: out.asc.Len(),
-		MinimalConstraints:    out.res.Minimal.Len(),
-		Removed:               len(out.res.Removed),
-		EquivalenceChecks:     out.res.EquivalenceChecks,
+		Process:               res.Parsed.Proc.Name,
+		Activities:            len(res.Parsed.Proc.Activities()),
+		MergedConstraints:     res.Merged.Len(),
+		TranslatedConstraints: res.Translated.Len(),
+		MinimalConstraints:    min.Minimal.Len(),
+		Removed:               len(min.Removed),
+		EquivalenceChecks:     min.EquivalenceChecks,
 	}
-	for _, c := range out.res.Minimal.Constraints() {
+	for _, c := range min.Minimal.Constraints() {
 		resp.Minimal = append(resp.Minimal, c.String())
 	}
-	if q.wantValidate() {
-		rep, err := petri.Validate(out.res.Minimal, out.guards)
-		if err != nil {
-			return nil, fmt.Errorf("petri validation: %w", err)
-		}
+	if rep := res.Soundness; rep != nil {
 		sound := rep.Sound
 		resp.Sound = &sound
 		resp.States = rep.StateSpace.States
+		resp.Truncated = rep.StateSpace.Truncated
 		resp.Deadlocks = rep.Deadlocks
 	}
-	if q.BPEL {
-		var doc *bpel.Process
-		var err error
-		if q.Structured {
-			doc, err = bpel.GenerateStructured(out.res.Minimal, out.guards)
-		} else {
-			doc, err = bpel.Generate(out.res.Minimal)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bpel generation: %w", err)
-		}
-		if err := bpel.Validate(doc); err != nil {
-			return nil, fmt.Errorf("bpel validation: %w", err)
-		}
-		data, err := bpel.Marshal(doc)
-		if err != nil {
-			return nil, err
-		}
-		resp.BPEL = string(bytes.TrimSpace(data))
+	if len(res.BPELXML) > 0 {
+		resp.BPEL = string(bytes.TrimSpace(res.BPELXML))
 	}
-	return resp, nil
+	return resp
 }

@@ -1,0 +1,48 @@
+// Package front wires the concrete language frontends into the weave
+// pipeline. It sits above both internal/weave and the language
+// packages (dscl, pdg) so that weave itself stays frontend-agnostic
+// and dscl can build its convenience wrappers on the pipeline without
+// an import cycle.
+package front
+
+import (
+	"context"
+	"fmt"
+
+	"dscweaver/internal/dscl"
+	"dscweaver/internal/pdg"
+	"dscweaver/internal/weave"
+)
+
+// DSCL parses DSCL source: the explicit-dependency language of §3–4.
+func DSCL(ctx context.Context, source string) (*weave.Parsed, error) {
+	doc, err := dscl.Load(source)
+	if err != nil {
+		return nil, err
+	}
+	return &weave.Parsed{Proc: doc.Proc, Deps: doc.Deps, Extra: doc.Extra}, nil
+}
+
+// Seqlang parses sequencing-construct source, extracting its implicit
+// dependencies through the program dependence graph (the paper's §2
+// "sequencing constructs over-specify" comparison input).
+func Seqlang(ctx context.Context, source string) (*weave.Parsed, error) {
+	ex, err := pdg.Extract(source)
+	if err != nil {
+		return nil, err
+	}
+	return &weave.Parsed{Proc: ex.Proc, Deps: ex.Deps}, nil
+}
+
+// ByLang maps a language name to its frontend: "dscl" (also the ""
+// default) or "seqlang".
+func ByLang(lang string) (weave.Frontend, error) {
+	switch lang {
+	case "", "dscl":
+		return DSCL, nil
+	case "seqlang":
+		return Seqlang, nil
+	default:
+		return nil, fmt.Errorf("front: unknown lang %q (want dscl or seqlang)", lang)
+	}
+}

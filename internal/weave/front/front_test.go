@@ -1,0 +1,52 @@
+package front
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestDSCLFrontend(t *testing.T) {
+	parsed, err := DSCL(context.Background(), `process P {
+	activity a opaque writes(x)
+	activity b opaque reads(x)
+	dependencies { data a -> b var(x) }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Proc.Name != "P" || parsed.Deps.Len() != 1 {
+		t.Errorf("parsed %s with %d deps, want P with 1", parsed.Proc.Name, parsed.Deps.Len())
+	}
+	if _, err := DSCL(context.Background(), `process "unterminated`); err == nil {
+		t.Error("DSCL accepted malformed source")
+	}
+}
+
+func TestSeqlangFrontend(t *testing.T) {
+	parsed, err := Seqlang(context.Background(), "process P { sequence { assign a writes(x) assign b reads(x) } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Deps.Len() == 0 {
+		t.Error("PDG extraction found no dependencies")
+	}
+	if parsed.Extra != nil {
+		t.Error("seqlang frontend declared Extra constraints")
+	}
+	if _, err := Seqlang(context.Background(), "not a process"); err == nil {
+		t.Error("Seqlang accepted malformed source")
+	}
+}
+
+func TestByLang(t *testing.T) {
+	for _, lang := range []string{"", "dscl", "seqlang"} {
+		if fe, err := ByLang(lang); err != nil || fe == nil {
+			t.Errorf("ByLang(%q) = (%v, %v), want a frontend", lang, fe, err)
+		}
+	}
+	_, err := ByLang("cobol")
+	if err == nil || !strings.Contains(err.Error(), "unknown lang") {
+		t.Errorf("ByLang(cobol) = %v, want unknown-lang error", err)
+	}
+}

@@ -7,20 +7,24 @@
 # the obs=off / obs=on ns/op pair and the overhead percentage. Finally
 # runs the dscweaverd weave-throughput benchmark and writes
 # BENCH_server.json with req/sec at minimizer parallelism 1 vs
-# GOMAXPROCS.
+# GOMAXPROCS, and the weave pipeline stage benchmark into
+# BENCH_weave.json with the per-stage ns/op breakdown.
 #
-#   scripts/bench.sh [minimize-output.json] [schedule-output.json] [server-output.json]
+#   scripts/bench.sh [minimize-output.json] [schedule-output.json] \
+#                    [server-output.json] [weave-output.json]
 #
 # BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
 # to include the n=1024 rows (minutes per op). SCHED_BENCHTIME (default
 # 20x) controls the scheduler overhead runs, which need repetitions for
-# a stable ratio.
+# a stable ratio. WEAVE_BENCHTIME (default 1x) controls the pipeline
+# stage runs, whose layered row is seconds per op.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_minimize.json}"
 sched_out="${2:-BENCH_schedule.json}"
 server_out="${3:-BENCH_server.json}"
+weave_out="${4:-BENCH_weave.json}"
 benchtime="${BENCHTIME:-1x}"
 sched_benchtime="${SCHED_BENCHTIME:-20x}"
 raw="$(mktemp)"
@@ -118,3 +122,41 @@ END {
 ' "$server_raw" > "$server_out"
 
 echo "wrote $server_out ($(grep -c '"name"' "$server_out") records)"
+
+weave_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sched_raw" "$server_raw" "$weave_raw"' EXIT
+weave_benchtime="${WEAVE_BENCHTIME:-1x}"
+
+go test -run '^$' -bench 'BenchmarkWeavePipelineStages' -benchtime "$weave_benchtime" -timeout 0 . | tee "$weave_raw"
+
+awk '
+/^BenchmarkWeavePipelineStages\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = 0; nstages = 0
+    delete stage; delete stagens
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op") { ns = $i; continue }
+        if ($(i+1) ~ /-ns\/op$/) {
+            st = $(i+1)
+            sub(/-ns\/op$/, "", st)
+            stage[++nstages] = st
+            stagens[st] = $i
+        }
+    }
+    if (ns == 0) next
+    rec = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %.0f, \"stages\": {", name, ns)
+    for (i = 1; i <= nstages; i++)
+        rec = rec sprintf("%s\"%s\": %.0f", i > 1 ? ", " : "", stage[i], stagens[stage[i]])
+    rec = rec "}}"
+    recs[++count] = rec
+}
+END {
+    if (count == 0) { print "missing weave benchmark rows" > "/dev/stderr"; exit 1 }
+    print "["
+    for (i = 1; i <= count; i++) printf("%s%s\n", recs[i], i < count ? "," : "")
+    print "]"
+}
+' "$weave_raw" > "$weave_out"
+
+echo "wrote $weave_out ($(grep -c '"name"' "$weave_out") records)"
