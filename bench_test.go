@@ -491,6 +491,57 @@ func BenchmarkSchedulerObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkRetryOverhead measures the no-fault retry tax: the same
+// layered workload as BenchmarkSchedulerObsOverhead executed with no
+// retry policies and with a full policy (classified, jittered,
+// per-attempt timeout, max-elapsed budget) on every activity. No
+// executor ever fails, so the retry=on/retry=off delta is pure
+// bookkeeping — the per-attempt context and classification plumbing —
+// recorded in BENCH_schedule.json.
+func BenchmarkRetryOverhead(b *testing.B) {
+	const work = 200 * time.Microsecond
+	const width = 8
+	w := workload.Layered(4, width, 0.25, int64(width))
+	merged, err := w.Constraints()
+	if err != nil {
+		b.Fatal(err)
+	}
+	minRes, err := core.MinimizeUnconditional(merged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	retries := make(map[core.ActivityID]schedule.RetryPolicy, len(minRes.Minimal.Proc.Activities()))
+	for _, act := range minRes.Minimal.Proc.Activities() {
+		retries[act.ID] = schedule.RetryPolicy{
+			MaxAttempts: 3,
+			Backoff:     time.Millisecond,
+			Multiplier:  2,
+			Jitter:      true,
+			PerAttempt:  time.Second,
+			MaxElapsed:  time.Second,
+		}
+	}
+	for _, variant := range []struct {
+		name string
+		opts schedule.Options
+	}{
+		{"off", schedule.Options{Timeout: time.Minute}},
+		{"on", schedule.Options{Timeout: time.Minute, Retry: retries, RetrySeed: 1}},
+	} {
+		b.Run("retry="+variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := schedule.New(minRes.Minimal, schedule.NoopExecutors(minRes.Minimal.Proc, work, nil), variant.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConstraintMaintenance measures the engine-side cost of
 // carrying redundant constraints: the same chain process executed with
 // 0×, 1× and 4× redundant shortcut edges and zero-work activities, so

@@ -11,6 +11,11 @@
 //	GET  /v1/runs/{id}/events  one run's lifecycle event log as JSONL
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness (503 while draining)
+//	GET  /readyz               readiness (503 when draining or the
+//	                           weave pool is saturated with a backlog)
+//
+// Requests that wait longer than the queue-wait bound for a pool slot
+// are shed with 429 and a Retry-After hint.
 //
 // Usage:
 //
@@ -21,6 +26,7 @@
 //	-events FILE     rotating JSONL event log path
 //	-parallel N      default minimizer worker count per weave
 //	-concurrency N   weave worker pool size (default GOMAXPROCS)
+//	-queue-wait D    max wait for a pool slot before shedding (default 2s)
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight weaves finish,
 // then the event log closes.
@@ -45,6 +51,7 @@ func main() {
 	events := flag.String("events", "", "rotating JSONL event log path")
 	parallel := flag.Int("parallel", 0, "default minimizer worker count per weave (0 = GOMAXPROCS)")
 	concurrency := flag.Int("concurrency", 0, "weave worker pool size (0 = GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", 0, "max wait for a pool slot before shedding with 429 (0 = 2s default)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dscweaverd [flags]")
@@ -71,6 +78,9 @@ func main() {
 	}
 	if *concurrency != 0 {
 		cfg.WeaveConcurrency = *concurrency
+	}
+	if *queueWait != 0 {
+		cfg.QueueWait = *queueWait
 	}
 
 	s, err := server.New(cfg)

@@ -1,0 +1,43 @@
+// Package leak provides a goroutine-leak check for test teardown. It
+// deliberately depends on nothing but the standard library so every
+// layer — core, schedule, services, server, chaos — can use it without
+// import cycles.
+package leak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace bounds how long Check waits for stragglers after the test
+// body: engine watchdogs, bus drains and HTTP keep-alive closers all
+// wind down in milliseconds; anything alive past this is a leak.
+const grace = 3 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that
+// fails the test unless the count returns to the baseline within the
+// grace window. Call it first in the test body, before anything the
+// test spawns. The count-based check tolerates goroutines that existed
+// before the test (other parallel tests, the runtime's own workers);
+// it only flags a net increase that persists.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dscweaver/internal/cond"
 	"dscweaver/internal/graph"
@@ -226,14 +227,29 @@ func (pg *pointGraph) guardOf(n Node) cond.Expr {
 // when non-nil, excludes one edge — used by the minimizer to evaluate
 // candidate removals without mutating the graph.
 func (pg *pointGraph) annotatedFrom(src int, skip *[2]int) []cond.Expr {
-	return pg.annotatedFromInto(nil, src, skip)
+	return pg.annotatedFromInto(nil, src, skip, nil)
 }
+
+// sweepCheckInterval is how many frontier expansions a closure sweep
+// processes between polls of its cancel flag. Each expansion can cost
+// several Simplify calls on wide condition DNFs, so checking every
+// node would be noise while checking only at sweep boundaries leaves
+// a single pathological sweep uncancellable (the ROADMAP gap this
+// closes). 64 keeps the poll overhead unmeasurable and the abort
+// latency at a few dozen Simplify calls.
+const sweepCheckInterval = 64
 
 // annotatedFromInto is annotatedFrom computing into buf when it has
 // the right capacity, so the minimizer's per-candidate skip sweeps can
 // reuse one scratch slice per worker instead of allocating one per
 // (candidate, source). The returned slice aliases buf when reused.
-func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int) []cond.Expr {
+//
+// A non-nil cancel is polled every sweepCheckInterval frontier
+// expansions; once it fires the sweep returns its partial annotations
+// immediately. Callers that pass cancel MUST NOT use the result as a
+// closure (or cache it) without re-checking the flag — the minimizer's
+// equivalence checks discard the scan on abort.
+func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, cancel *atomic.Bool) []cond.Expr {
 	var ann []cond.Expr
 	if cap(buf) >= len(pg.points) {
 		ann = buf[:len(pg.points)]
@@ -244,9 +260,14 @@ func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int) 
 		ann[i] = cond.False()
 	}
 	ann[src] = cond.True()
+	expanded := 0
 	for _, u := range pg.topo {
 		if ann[u].IsFalse() {
 			continue
+		}
+		expanded++
+		if cancel != nil && expanded%sweepCheckInterval == 0 && cancel.Load() {
+			return ann // partial — caller re-checks cancel before use
 		}
 		for _, v := range pg.g.Succ(u) {
 			e := [2]int{u, v}
@@ -272,8 +293,10 @@ func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int) 
 // disjunction (the intermediate Simplify steps can canonicalize the
 // two differently, but the expressions are semantically equal) — the
 // minimizer exploits this to sweep along whichever side of a candidate
-// edge has the smaller frontier.
-func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int) []cond.Expr {
+// edge has the smaller frontier. Cancellation mirrors
+// annotatedFromInto: a fired cancel yields a partial result the caller
+// must discard.
+func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int, cancel *atomic.Bool) []cond.Expr {
 	var ann []cond.Expr
 	if cap(buf) >= len(pg.points) {
 		ann = buf[:len(pg.points)]
@@ -284,10 +307,15 @@ func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int) []
 		ann[i] = cond.False()
 	}
 	ann[dst] = cond.True()
+	expanded := 0
 	for i := len(pg.topo) - 1; i >= 0; i-- {
 		v := pg.topo[i]
 		if ann[v].IsFalse() {
 			continue
+		}
+		expanded++
+		if cancel != nil && expanded%sweepCheckInterval == 0 && cancel.Load() {
+			return ann // partial — caller re-checks cancel before use
 		}
 		for _, u := range pg.g.Pred(v) {
 			e := [2]int{u, v}

@@ -83,9 +83,11 @@ func (pg *pointGraph) fullFrom(s int) []cond.Expr {
 }
 
 // fullTo returns the baseline condition-annotated backward closure
-// toward target t, served from the backward cache when valid.
+// toward target t, served from the backward cache when valid. Like
+// fullFrom it never takes a cancel flag: a partial sweep must never
+// become a cached baseline.
 func (pg *pointGraph) fullTo(t int) []cond.Expr {
-	return pg.cacheTo.get(t, func() []cond.Expr { return pg.annotatedToInto(nil, t, nil) })
+	return pg.cacheTo.get(t, func() []cond.Expr { return pg.annotatedToInto(nil, t, nil, nil) })
 }
 
 // invalidateClosuresThrough marks stale every cached baseline closure

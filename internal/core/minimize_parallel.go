@@ -84,17 +84,30 @@ func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bo
 	}
 	if workers <= 1 {
 		pairs := 0
+		// The same early-cancel flag the pool uses, so a single
+		// pathological sweep aborts mid-scan in sequential mode too.
+		var cancel atomic.Bool
+		stop := context.AfterFunc(ctx, func() { cancel.Store(true) })
+		defer stop()
 		var scratch []cond.Expr
 		for _, it := range items {
 			if err := ctx.Err(); err != nil {
 				return false, pairs, err
 			}
-			ok, p, buf, err := check(it, scratch, nil)
+			ok, p, buf, err := check(it, scratch, &cancel)
 			scratch = buf
 			pairs += p
 			if err != nil || !ok {
+				if cerr := ctx.Err(); cerr != nil {
+					return false, pairs, cerr
+				}
 				return false, pairs, err
 			}
+		}
+		// An abort during the final item's sweep yields a vacuous "ok"
+		// from a partial scan; the ctx error must win over that verdict.
+		if err := ctx.Err(); err != nil {
+			return false, pairs, err
 		}
 		return true, pairs, nil
 	}
@@ -163,7 +176,7 @@ func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bo
 // reports equivalent=true, which the cancelling caller ignores).
 func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targetSet graph.Bitset, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
 	full := pg.fullFrom(s)
-	without := pg.annotatedFromInto(scratch, s, &skip)
+	without := pg.annotatedFromInto(scratch, s, &skip, cancel)
 	gs := pg.guardOf(pg.points[s].Node)
 	pairs := 0
 	for t := range pg.points {
@@ -206,7 +219,7 @@ func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targetSet graph.Bitse
 // hit rate) differ.
 func (pg *pointGraph) targetEquivalent(t int, skip [2]int, sources []int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
 	full := pg.fullTo(t)
-	without := pg.annotatedToInto(scratch, t, &skip)
+	without := pg.annotatedToInto(scratch, t, &skip, cancel)
 	gt := pg.guardOf(pg.points[t].Node)
 	pairs := 0
 	for _, s := range sources {

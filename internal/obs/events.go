@@ -65,6 +65,12 @@ const (
 	EvServiceUp = "service_up"
 	EvBusClosed = "bus_closed"
 
+	// Per-port circuit breaker transitions (Service/Port name the
+	// port; Value carries the consecutive-fault count at the trip).
+	EvBreakerOpen     = "breaker_open"
+	EvBreakerHalfOpen = "breaker_half_open"
+	EvBreakerClose    = "breaker_close"
+
 	// Minimizer lifecycle.
 	EvMinimizeBegin    = "minimize_begin"
 	EvMinimizeEnd      = "minimize_end"

@@ -85,19 +85,6 @@ func (v *Vars) Snapshot() map[string]any {
 	return out
 }
 
-// RetryPolicy controls recovery from executor failures — the paper's
-// §3.2 exception scenario: "if an exception occurs at
-// invProduction_ss, the execution of replyClient_oi is postponed until
-// the exception is fixed." An activity with attempts remaining is
-// re-executed after the backoff; its dependents simply keep waiting
-// for its finish event.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries (≥ 1).
-	MaxAttempts int
-	// Backoff is the delay between attempts.
-	Backoff time.Duration
-}
-
 // Options tunes an engine.
 type Options struct {
 	// Timeout bounds Run (default 30s). A run that exceeds it fails
@@ -110,9 +97,13 @@ type Options struct {
 	Guards map[core.Node]cond.Expr
 	// Inputs seeds the variable store.
 	Inputs map[string]any
-	// Retry gives per-activity recovery policies; activities without
-	// an entry fail the run on the first executor error.
+	// Retry gives per-activity recovery policies (see RetryPolicy);
+	// activities without an entry fail the run on the first executor
+	// error.
 	Retry map[core.ActivityID]RetryPolicy
+	// RetrySeed seeds the jitter randomness (0 = time-seeded). Chaos
+	// replays pass a fixed seed so backoff draws are reproducible.
+	RetrySeed int64
 	// Workers caps the number of concurrently executing activities
 	// (0 = unlimited). The constraint graph bounds parallelism from
 	// above; Workers models a resource-constrained engine, letting the
@@ -137,6 +128,7 @@ type Engine struct {
 	opts   Options
 	m      *engineMetrics // nil when Options.Metrics is nil
 	sink   obs.Sink       // nil when Options.Events is nil
+	rnd    *retryRand     // jitter source, seeded by Options.RetrySeed
 
 	// static wiring
 	inEdges  map[core.ActivityID][]edgeRef // constraints targeting the activity
@@ -218,6 +210,7 @@ func New(sc *core.ConstraintSet, execs map[core.ActivityID]Executor, opts Option
 	e := &Engine{
 		sc: sc, proc: sc.Proc, execs: execs, guards: guards, opts: opts,
 		m: newEngineMetrics(opts.Metrics), sink: opts.Events,
+		rnd:     newRetryRand(opts.RetrySeed),
 		inEdges: map[core.ActivityID][]edgeRef{},
 		mutexes: map[core.ActivityID][]int{},
 	}
@@ -513,21 +506,47 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 		if attempts < 1 {
 			attempts = 1
 		}
+		classify := policy.Classify
+		if classify == nil {
+			classify = DefaultClassify
+		}
+		retryStart := time.Now()
 		for attempt := 1; attempt <= attempts; attempt++ {
-			outcome, execErr = ex(ctx, act, vars)
+			attemptCtx, cancelAttempt := ctx, context.CancelFunc(nil)
+			if policy.PerAttempt > 0 {
+				attemptCtx, cancelAttempt = context.WithTimeout(ctx, policy.PerAttempt)
+			}
+			outcome, execErr = ex(attemptCtx, act, vars)
+			if cancelAttempt != nil {
+				cancelAttempt()
+			}
 			if execErr == nil {
 				break
 			}
+			if classify(execErr) == FaultPermanent {
+				// Deterministically failing request: retrying burns the
+				// budget without changing the outcome.
+				break
+			}
 			if attempt < attempts {
+				delay := policy.delay(attempt)
+				if policy.Jitter {
+					delay = e.rnd.jitter(delay)
+				}
+				if policy.MaxElapsed > 0 && time.Since(retryStart)+delay > policy.MaxElapsed {
+					execErr = fmt.Errorf("%w (retry budget %v exhausted after attempt %d/%d)",
+						execErr, policy.MaxElapsed, attempt, attempts)
+					break
+				}
 				tr.recordRetry(act.ID)
 				if e.m != nil {
 					e.m.retries.Inc()
 				}
 				e.emit(obs.Event{Kind: obs.EvActivityRetry, Activity: string(act.ID),
-					Attempt: attempt, Err: execErr.Error()})
-				if policy.Backoff > 0 {
+					Attempt: attempt, Err: execErr.Error(), DurNS: int64(delay)})
+				if delay > 0 {
 					select {
-					case <-time.After(policy.Backoff):
+					case <-time.After(delay):
 					case <-ctx.Done():
 					}
 				}

@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"dscweaver/internal/chaos/leak"
 	"dscweaver/internal/core"
 )
 
@@ -182,7 +182,7 @@ func TestRetryReportsCancelDuringAttempt(t *testing.T) {
 // mid-run: the partial trace still validates, the error is the context
 // error, and no engine goroutines outlive the run.
 func TestRunCancellationPartialTraceNoLeaks(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak.Check(t)
 
 	sc := chainSet(8)
 	execs := NoopExecutors(sc.Proc, 20*time.Millisecond, nil)
@@ -205,19 +205,6 @@ func TestRunCancellationPartialTraceNoLeaks(t *testing.T) {
 	if err := tr.Validate(sc, nil); err != nil {
 		t.Errorf("partial trace fails validation: %v\n%s", err, tr)
 	}
-
-	// Every engine goroutine (activities + watchdog) must be gone.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// leak.Check's cleanup asserts every engine goroutine (activities +
+	// watchdog) is gone.
 }

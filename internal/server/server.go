@@ -53,6 +53,17 @@ type Config struct {
 	// WeaveConcurrency bounds concurrently running weave/simulate
 	// requests — the worker pool (default GOMAXPROCS).
 	WeaveConcurrency int
+	// QueueWait bounds how long an admitted request may sit waiting for
+	// a weave pool slot before the server sheds it with 429 +
+	// Retry-After (default 2s; always capped by the request timeout).
+	QueueWait time.Duration
+	// ReadTimeout / WriteTimeout / IdleTimeout / MaxHeaderBytes harden
+	// the HTTP listener against slow-loris clients pinning connections
+	// (defaults 30s / RequestTimeout+10s / 2m / 64 KiB).
+	ReadTimeout    time.Duration
+	WriteTimeout   time.Duration
+	IdleTimeout    time.Duration
+	MaxHeaderBytes int
 	// RunHistory is how many recent runs keep their event logs
 	// queryable via /v1/runs (default 128).
 	RunHistory int
@@ -89,6 +100,23 @@ func (c Config) Normalize() Config {
 	if c.RunHistory <= 0 {
 		c.RunHistory = 128
 	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		// Responses must outlive the slowest admitted request: the
+		// request timeout plus headroom for serializing large traces.
+		c.WriteTimeout = c.RequestTimeout + 10*time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 64 << 10
+	}
 	return c
 }
 
@@ -101,6 +129,11 @@ type fileConfig struct {
 	ShutdownGrace    string               `json:"shutdown_grace"`
 	WeaveParallelism int                  `json:"weave_parallelism"`
 	WeaveConcurrency int                  `json:"weave_concurrency"`
+	QueueWait        string               `json:"queue_wait"`
+	ReadTimeout      string               `json:"read_timeout"`
+	WriteTimeout     string               `json:"write_timeout"`
+	IdleTimeout      string               `json:"idle_timeout"`
+	MaxHeaderBytes   int                  `json:"max_header_bytes"`
 	RunHistory       int                  `json:"run_history"`
 	EventsPath       string               `json:"events_path"`
 	LogMaxBytes      int64                `json:"log_max_bytes"`
@@ -127,6 +160,7 @@ func LoadConfig(path string) (Config, error) {
 		MaxBodyBytes:     fc.MaxBodyBytes,
 		WeaveParallelism: fc.WeaveParallelism,
 		WeaveConcurrency: fc.WeaveConcurrency,
+		MaxHeaderBytes:   fc.MaxHeaderBytes,
 		RunHistory:       fc.RunHistory,
 		EventsPath:       fc.EventsPath,
 		LogMaxBytes:      fc.LogMaxBytes,
@@ -139,6 +173,10 @@ func LoadConfig(path string) (Config, error) {
 	}{
 		{fc.RequestTimeout, &c.RequestTimeout},
 		{fc.ShutdownGrace, &c.ShutdownGrace},
+		{fc.QueueWait, &c.QueueWait},
+		{fc.ReadTimeout, &c.ReadTimeout},
+		{fc.WriteTimeout, &c.WriteTimeout},
+		{fc.IdleTimeout, &c.IdleTimeout},
 		{fc.LogMaxAge, &c.LogMaxAge},
 	} {
 		if d.raw == "" {
@@ -163,6 +201,7 @@ type Server struct {
 	weaveSem chan struct{}  // bounded weave worker pool
 	wg       sync.WaitGroup // in-flight weave/simulate requests
 	closed   atomic.Bool    // draining: reject new work
+	queued   atomic.Int64   // requests waiting on a pool slot
 
 	// abortCtx is canceled when Shutdown's drain deadline passes: every
 	// in-flight weave context is derived from the request context AND
@@ -176,6 +215,8 @@ type Server struct {
 
 	reqTotal   func(route string, code int) // instrumentation shortcuts
 	reqSeconds func(route string, d time.Duration)
+	queueDepth *obs.Gauge   // server_queue_depth
+	shedTotal  *obs.Counter // server_shed_total
 }
 
 // New builds a server from cfg. Histogram bucket overrides are applied
@@ -216,9 +257,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reqTotal = func(route string, code int) { requests(route, code).Inc() }
 	s.reqSeconds = func(route string, d time.Duration) { seconds(route).Observe(d.Seconds()) }
+	s.queueDepth = reg.Gauge("server_queue_depth")
+	s.shedTotal = reg.Counter("server_shed_total")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/runs", s.instrument("runs", s.handleRuns))
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("run_events", s.handleRunEvents))
@@ -291,6 +335,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports whether the instance can take load right now:
+// 503 while draining, 503 when the weave pool is full with requests
+// already queued behind it, 200 otherwise. Liveness (/healthz) stays
+// green through saturation; readiness is what load balancers should
+// rotate on.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	inUse := len(s.weaveSem)
+	queued := s.queued.Load()
+	body := map[string]any{
+		"pool_in_use": inUse,
+		"pool_size":   cap(s.weaveSem),
+		"queued":      queued,
+	}
+	if inUse >= cap(s.weaveSem) && queued > 0 {
+		body["status"] = "saturated"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.reg.WritePrometheus(w)
@@ -315,9 +385,14 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// errSaturated marks an admission shed by the queue-wait bound; the
+// handlers translate it to 429 + Retry-After instead of a generic 503.
+var errSaturated = errors.New("weave pool saturated")
+
 // admit reserves a weave pool slot and registers the request with the
-// drain group. It fails when the server is draining or the slot does
-// not free up within the request deadline.
+// drain group. It fails when the server is draining, when no slot
+// frees up within QueueWait (load shed: errSaturated), or when the
+// request deadline expires first.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	if s.closed.Load() {
 		return nil, errors.New("server draining")
@@ -329,16 +404,37 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		s.wg.Done()
 		return nil, errors.New("server draining")
 	}
+	s.queueDepth.Set(s.queued.Add(1))
+	defer func() { s.queueDepth.Set(s.queued.Add(-1)) }()
+	wait := time.NewTimer(s.cfg.QueueWait)
+	defer wait.Stop()
 	select {
 	case s.weaveSem <- struct{}{}:
 		return func() {
 			<-s.weaveSem
 			s.wg.Done()
 		}, nil
+	case <-wait.C:
+		s.wg.Done()
+		s.shedTotal.Inc()
+		return nil, fmt.Errorf("%w: no pool slot within %v", errSaturated, s.cfg.QueueWait)
 	case <-ctx.Done():
 		s.wg.Done()
 		return nil, fmt.Errorf("weave pool congested: %w", ctx.Err())
 	}
+}
+
+// admitError renders an admission failure: a queue-wait shed becomes
+// 429 with a Retry-After hint (one QueueWait rounded up — by then at
+// least one pool slot has turned over or the backlog is structural);
+// draining and deadline failures stay 503.
+func (s *Server) admitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errSaturated) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.QueueWait/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
 }
 
 // weaveContext derives the pipeline context for one admitted request:
@@ -377,7 +473,7 @@ func (s *Server) handleWeave(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.admitError(w, err)
 		return
 	}
 	defer release()
@@ -405,7 +501,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.admitError(w, err)
 		return
 	}
 	defer release()
@@ -434,6 +530,10 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		Addr:              s.cfg.Addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.httpSrv.ListenAndServe() }()

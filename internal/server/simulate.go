@@ -38,6 +38,31 @@ type SimulateRequest struct {
 	// Services overrides individual simulated services, keyed by the
 	// service name declared in the source. Unknown names are errors.
 	Services map[string]ServiceProfile `json:"services,omitempty"`
+	// Breaker arms the bus's per-port circuit breaker for the run, so a
+	// simulated fault storm exercises trip/fast-fail behavior end to
+	// end (breaker transitions land in the run's event log).
+	Breaker *BreakerProfile `json:"breaker,omitempty"`
+}
+
+// BreakerProfile configures the per-port circuit breaker applied to
+// every simulated service's bus for one run.
+type BreakerProfile struct {
+	// Threshold is the consecutive-fault count that opens a port's
+	// breaker (0 takes the services default).
+	Threshold int `json:"threshold,omitempty"`
+	// CooldownMS is how long an open breaker waits before admitting a
+	// half-open probe (0 takes the services default).
+	CooldownMS int `json:"cooldown_ms,omitempty"`
+}
+
+func (b *BreakerProfile) validate() error {
+	if b.Threshold < 0 {
+		return errors.New("breaker: negative threshold")
+	}
+	if b.CooldownMS < 0 {
+		return errors.New("breaker: negative cooldown_ms")
+	}
+	return nil
 }
 
 // ServiceProfile tunes one simulated service, mirroring the latency
@@ -119,6 +144,11 @@ func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
 			return nil, err
 		}
 	}
+	if q.Breaker != nil {
+		if err := q.Breaker.validate(); err != nil {
+			return nil, err
+		}
+	}
 	return &q, nil
 }
 
@@ -151,7 +181,7 @@ type SimulateResponse struct {
 // Sequential services keep their in-order port verification, so a
 // wrongly minimized set fails the conversation exactly like the
 // paper's state-aware Purchase service.
-func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, profiles map[string]ServiceProfile, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
+func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, profiles map[string]ServiceProfile, breaker *BreakerProfile, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
 	for name, prof := range profiles {
 		svc, ok := proc.Service(name)
 		if !ok {
@@ -184,6 +214,12 @@ func simulatedBus(proc *core.Process, branches map[string]string, latency time.D
 		}
 	}
 	bus := services.NewBus(0).Observe(reg, sink)
+	if breaker != nil {
+		bus = bus.WithBreaker(services.BreakerConfig{
+			Threshold: breaker.Threshold,
+			Cooldown:  time.Duration(breaker.CooldownMS) * time.Millisecond,
+		})
+	}
 	for _, svc := range proc.Services() {
 		var emits []services.Emit
 		for _, act := range proc.Activities() {
@@ -263,7 +299,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
 	}
 
-	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, s.reg, sink)
+	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, q.Breaker, s.reg, sink)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,254 @@
+package services
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dscweaver/internal/obs"
+)
+
+// flakyHandler fails while the flag is set and succeeds otherwise.
+func flakyHandler(failing *atomic.Bool) Handler {
+	return func(c *Call) ([]Emit, error) {
+		if failing.Load() {
+			return nil, fmt.Errorf("backend down: %w", ErrTransient)
+		}
+		return []Emit{{Tag: "ok", Payload: c.Payload}}, nil
+	}
+}
+
+// breakerEvents filters the breaker transition kinds out of a sink.
+func breakerEvents(sink *obs.MemSink) []string {
+	var kinds []string
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case obs.EvBreakerOpen, obs.EvBreakerHalfOpen, obs.EvBreakerClose:
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+// TestBreakerOpenHalfOpenClosed drives the full state machine end to
+// end: N consecutive faults open the port, invocations fast-fail while
+// open, the cooldown admits one half-open probe, and a successful
+// probe closes the breaker again. Metrics and events are asserted at
+// each transition.
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &obs.MemSink{}
+	var failing atomic.Bool
+	failing.Store(true)
+
+	b := NewBus(0).Observe(reg, sink).WithBreaker(BreakerConfig{Threshold: 3, Cooldown: 30 * time.Millisecond})
+	defer b.Close()
+	if err := b.Register(Config{Name: "S", Ports: []string{"p"}, Handle: flakyHandler(&failing)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three consecutive faults trip the breaker. The outcome is
+	// recorded before each callback is delivered, so after collecting
+	// the third fault the breaker is observably open.
+	for i := 0; i < 3; i++ {
+		if err := b.Invoke("S", "p", i); err != nil {
+			t.Fatal(err)
+		}
+		cb := collect(t, b, 1)[0]
+		if !errors.Is(cb.Err, ErrTransient) {
+			t.Fatalf("invocation %d: err = %v, want transient backend fault", i, cb.Err)
+		}
+	}
+	if got := reg.Counter("bus_breaker_trips_total", "service", "S", "port", "p").Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+	if got := reg.Gauge("bus_breaker_state", "service", "S", "port", "p").Value(); got != breakerOpen {
+		t.Errorf("state gauge = %d, want %d (open)", got, breakerOpen)
+	}
+
+	// Open: the next invocation fast-fails without reaching the service.
+	if err := b.Invoke("S", "p", "rejected"); err != nil {
+		t.Fatal(err)
+	}
+	cb := collect(t, b, 1)[0]
+	if !errors.Is(cb.Err, ErrBreakerOpen) {
+		t.Fatalf("open breaker delivered %v, want ErrBreakerOpen", cb.Err)
+	}
+	if got := reg.Counter("bus_breaker_fastfail_total", "service", "S", "port", "p").Value(); got != 1 {
+		t.Errorf("fastfails = %d, want 1", got)
+	}
+
+	// After the cooldown the backend has recovered; the probe succeeds
+	// and closes the breaker.
+	failing.Store(false)
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Invoke("S", "p", "probe"); err != nil {
+		t.Fatal(err)
+	}
+	cb = collect(t, b, 1)[0]
+	if cb.Err != nil || cb.Tag != "ok" {
+		t.Fatalf("probe callback = %+v, want success", cb)
+	}
+	if got := reg.Gauge("bus_breaker_state", "service", "S", "port", "p").Value(); got != breakerClosed {
+		t.Errorf("state gauge = %d, want %d (closed)", got, breakerClosed)
+	}
+
+	// Closed again: normal traffic flows.
+	if err := b.Invoke("S", "p", "after"); err != nil {
+		t.Fatal(err)
+	}
+	if cb := collect(t, b, 1)[0]; cb.Err != nil {
+		t.Fatalf("post-recovery callback = %+v, want success", cb)
+	}
+
+	want := []string{obs.EvBreakerOpen, obs.EvBreakerHalfOpen, obs.EvBreakerClose}
+	got := breakerEvents(sink)
+	if len(got) != len(want) {
+		t.Fatalf("breaker events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("breaker events = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe re-opens
+// the breaker for another cooldown instead of closing it.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	reg := obs.NewRegistry()
+	var failing atomic.Bool
+	failing.Store(true)
+
+	b := NewBus(0).Observe(reg, nil).WithBreaker(BreakerConfig{Threshold: 2, Cooldown: 20 * time.Millisecond})
+	defer b.Close()
+	if err := b.Register(Config{Name: "S", Ports: []string{"p"}, Handle: flakyHandler(&failing)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b.Invoke("S", "p", i)
+		collect(t, b, 1)
+	}
+	time.Sleep(40 * time.Millisecond)
+
+	// Probe admitted, backend still down: the probe's fault callback
+	// re-opens the breaker.
+	b.Invoke("S", "p", "probe")
+	if cb := collect(t, b, 1)[0]; !errors.Is(cb.Err, ErrTransient) {
+		t.Fatalf("probe callback = %+v, want backend fault", cb)
+	}
+	if got := reg.Counter("bus_breaker_trips_total", "service", "S", "port", "p").Value(); got != 2 {
+		t.Errorf("trips = %d, want 2 (initial + failed probe)", got)
+	}
+	b.Invoke("S", "p", "still rejected")
+	if cb := collect(t, b, 1)[0]; !errors.Is(cb.Err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker delivered %v, want ErrBreakerOpen", cb.Err)
+	}
+}
+
+// TestBreakerHalfOpenAdmitsSingleProbe: while the probe is in flight,
+// further invocations fast-fail instead of piling onto a backend that
+// may still be down.
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	release := make(chan struct{})
+	var failing atomic.Bool
+	failing.Store(true)
+
+	b := NewBus(0).WithBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Millisecond})
+	defer b.Close()
+	err := b.Register(Config{Name: "S", Ports: []string{"p"}, Handle: func(c *Call) ([]Emit, error) {
+		if failing.Load() {
+			return nil, ErrTransient
+		}
+		<-release
+		return []Emit{{Tag: "ok"}}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("S", "p", nil)
+	collect(t, b, 1) // trips at threshold 1
+	failing.Store(false)
+	time.Sleep(20 * time.Millisecond)
+
+	b.Invoke("S", "p", "probe") // admitted, blocks on release
+	b.Invoke("S", "p", "crowd") // half-open with probe in flight: fast-fail
+	if cb := collect(t, b, 1)[0]; !errors.Is(cb.Err, ErrBreakerOpen) {
+		t.Fatalf("second half-open invocation delivered %v, want ErrBreakerOpen", cb.Err)
+	}
+	close(release)
+	if cb := collect(t, b, 1)[0]; cb.Err != nil || cb.Tag != "ok" {
+		t.Fatalf("probe callback = %+v, want success", cb)
+	}
+}
+
+// TestBreakerPerPortIsolation: one port's faults must not open a
+// sibling port's breaker.
+func TestBreakerPerPortIsolation(t *testing.T) {
+	b := NewBus(0).WithBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	defer b.Close()
+	boom := errors.New("boom")
+	err := b.Register(Config{
+		Name: "S", Ports: []string{"bad", "good"},
+		FailOn: map[string]error{"bad": boom},
+		Handle: func(c *Call) ([]Emit, error) { return []Emit{{Tag: "ok"}}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("S", "bad", nil)
+	if cb := collect(t, b, 1)[0]; !errors.Is(cb.Err, boom) {
+		t.Fatalf("bad port callback = %+v", cb)
+	}
+	b.Invoke("S", "bad", nil)
+	if cb := collect(t, b, 1)[0]; !errors.Is(cb.Err, ErrBreakerOpen) {
+		t.Fatalf("bad port second call = %+v, want ErrBreakerOpen", cb)
+	}
+	b.Invoke("S", "good", nil)
+	if cb := collect(t, b, 1)[0]; cb.Err != nil || cb.Tag != "ok" {
+		t.Fatalf("good port callback = %+v, want success", cb)
+	}
+}
+
+// TestPermanentMarker pins the fault taxonomy: FailOn and sequential
+// violations are permanent (retry loops must stop), FailFirst is
+// transient, and Permanent preserves the original chain.
+func TestPermanentMarker(t *testing.T) {
+	boom := errors.New("boom")
+	wrapped := Permanent(fmt.Errorf("ctx: %w", boom))
+	if !errors.Is(wrapped, ErrPermanent) || !errors.Is(wrapped, boom) {
+		t.Fatalf("Permanent lost part of the chain: %v", wrapped)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+
+	b := NewBus(0)
+	defer b.Close()
+	err := b.Register(Config{
+		Name: "S", Ports: []string{"a", "b"}, Sequential: true,
+		FailOn:    map[string]error{"b": boom},
+		FailFirst: map[string]int{"a": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Invoke("S", "b", nil) // out of order AND FailOn — FailOn wins
+	cb := collect(t, b, 1)[0]
+	if !errors.Is(cb.Err, ErrPermanent) || !errors.Is(cb.Err, boom) {
+		t.Errorf("FailOn fault = %v, want permanent wrapping boom", cb.Err)
+	}
+	b.Invoke("S", "a", nil) // first call: transient
+	cb = collect(t, b, 1)[0]
+	if !errors.Is(cb.Err, ErrTransient) || errors.Is(cb.Err, ErrPermanent) {
+		t.Errorf("FailFirst fault = %v, want transient and not permanent", cb.Err)
+	}
+	b.Invoke("S", "a", nil) // in order now, succeeds (no handler → no callback)
+	b.Invoke("S", "a", nil) // conversation past "a": out of order → permanent
+	cb = collect(t, b, 1)[0]
+	if !errors.Is(cb.Err, ErrOutOfOrder) || !errors.Is(cb.Err, ErrPermanent) {
+		t.Errorf("sequential violation = %v, want permanent out-of-order", cb.Err)
+	}
+}

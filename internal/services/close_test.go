@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dscweaver/internal/chaos/leak"
 	"dscweaver/internal/obs"
 )
 
@@ -50,6 +51,7 @@ func TestInvokeOnClosedBusReturnsTypedError(t *testing.T) {
 // invocation's callback is delivered before the inbox closes, and
 // refused invocations all carry the typed error.
 func TestConcurrentCloseInvoke(t *testing.T) {
+	leak.Check(t) // no service or drain goroutine survives Close
 	for round := 0; round < 20; round++ {
 		b := echoBus(t, 8)
 
@@ -99,6 +101,7 @@ func TestConcurrentCloseInvoke(t *testing.T) {
 // — including ones still queued behind a slow handler — produce their
 // callbacks before the inbox closes.
 func TestCloseDrainsPendingInvocations(t *testing.T) {
+	leak.Check(t)
 	b := NewBus(64)
 	if err := b.Register(Config{
 		Name: "Slow", Ports: []string{"1"}, Latency: 2 * time.Millisecond,

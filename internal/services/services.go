@@ -92,6 +92,29 @@ type Config struct {
 // ErrTransient is the error FailFirst faults wrap.
 var ErrTransient = fmt.Errorf("transient service fault")
 
+// ErrPermanent marks a fault as non-retryable: the same invocation
+// would fail the same way again (a rejected order, a violated
+// conversation contract), so retry loops must stop after one attempt.
+// FailOn faults carry it; wrap custom handler errors with Permanent.
+var ErrPermanent = errors.New("permanent service fault")
+
+// permanentError brands an error chain with ErrPermanent while keeping
+// the original chain visible to errors.Is/As.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string   { return e.err.Error() }
+func (e *permanentError) Unwrap() []error { return []error{ErrPermanent, e.err} }
+
+// Permanent marks err as a permanent (non-retryable) fault:
+// errors.Is(Permanent(err), ErrPermanent) holds, and the original
+// chain stays matchable. Nil stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
 // ErrOutOfOrder is wrapped by the conversation failure a sequential
 // service raises when its ports are invoked out of order — the
 // exception the paper's state-aware Purchase service would produce.
@@ -134,6 +157,10 @@ type Bus struct {
 	reg  *obs.Registry // nil = uninstrumented
 	sink obs.Sink      // nil = no events
 	bm   *busMetrics
+
+	// breakers is non-nil once WithBreaker armed per-port circuit
+	// breaking. Set before traffic, read-only afterwards.
+	breakers *breakerSet
 }
 
 // busMetrics caches the unlabeled registry handles; per-service/port
@@ -222,7 +249,14 @@ func (b *Bus) run(s *service) {
 	st := &serviceState{state: map[string]any{}, portCalls: map[string]int{}}
 	for inv := range s.in {
 		st.seq++
-		b.process(s, st, inv)
+		cbs, faulted := b.process(s, st, inv)
+		// Outcome is recorded before the callbacks become visible:
+		// whoever observes the fault that tripped a breaker can rely on
+		// the next Invoke fast-failing.
+		b.recordOutcome(s.cfg.Name, inv.port, faulted)
+		for _, cb := range cbs {
+			b.deliver(cb)
+		}
 		if b.reg != nil {
 			// End-to-end invocation latency: enqueue → handler done.
 			b.reg.Histogram("bus_invocation_seconds", obs.DurationBuckets,
@@ -239,8 +273,10 @@ type serviceState struct {
 	portCalls map[string]int // per-port invocation counts for FailFirst
 }
 
-// process handles one invocation on the service goroutine.
-func (b *Bus) process(s *service, st *serviceState, inv invocation) {
+// process handles one invocation on the service goroutine. It returns
+// the callbacks to deliver and whether the invocation faulted, so run
+// can feed the port's breaker before the callbacks become visible.
+func (b *Bus) process(s *service, st *serviceState, inv invocation) (cbs []Callback, faulted bool) {
 	latency := s.cfg.Latency
 	if d, ok := s.cfg.PortLatency[inv.port]; ok {
 		latency = d
@@ -249,17 +285,18 @@ func (b *Bus) process(s *service, st *serviceState, inv invocation) {
 		time.Sleep(latency)
 	}
 	if err, ok := s.cfg.FailOn[inv.port]; ok && err != nil {
-		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: fmt.Errorf("services: %s.%s: %w", s.cfg.Name, inv.port, err)})
-		return
+		// FailOn faults are deterministic — the same invocation fails
+		// the same way every time — so they carry the permanent mark.
+		return []Callback{{Service: s.cfg.Name, Tag: inv.port,
+			Err: Permanent(fmt.Errorf("services: %s.%s: %w", s.cfg.Name, inv.port, err))}}, true
 	}
 	if k := s.cfg.FailFirst[inv.port]; k > 0 && st.portCalls[inv.port] < k {
 		st.portCalls[inv.port]++
 		if b.bm != nil {
 			b.bm.transients.Inc()
 		}
-		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port,
-			Err: fmt.Errorf("services: %s.%s attempt %d: %w", s.cfg.Name, inv.port, st.portCalls[inv.port], ErrTransient)})
-		return
+		return []Callback{{Service: s.cfg.Name, Tag: inv.port,
+			Err: fmt.Errorf("services: %s.%s attempt %d: %w", s.cfg.Name, inv.port, st.portCalls[inv.port], ErrTransient)}}, true
 	}
 	st.portCalls[inv.port]++
 	if s.cfg.Sequential {
@@ -272,27 +309,26 @@ func (b *Bus) process(s *service, st *serviceState, inv invocation) {
 				if st.next < len(s.cfg.Ports) {
 					expected = s.cfg.Ports[st.next]
 				}
-				b.deliver(Callback{
+				return []Callback{{
 					Service: s.cfg.Name, Tag: inv.port,
-					Err: fmt.Errorf("services: %s.%s arrived before port %s: %w",
-						s.cfg.Name, inv.port, expected, ErrOutOfOrder),
-				})
-				return
+					Err: Permanent(fmt.Errorf("services: %s.%s arrived before port %s: %w",
+						s.cfg.Name, inv.port, expected, ErrOutOfOrder)),
+				}}, true
 			}
 			st.next++
 		}
 	}
 	if s.cfg.Handle == nil {
-		return
+		return nil, false
 	}
 	emits, err := s.cfg.Handle(&Call{Port: inv.port, Payload: inv.payload, State: st.state, Seq: st.seq})
 	if err != nil {
-		b.deliver(Callback{Service: s.cfg.Name, Tag: inv.port, Err: err})
-		return
+		return []Callback{{Service: s.cfg.Name, Tag: inv.port, Err: err}}, true
 	}
 	for _, e := range emits {
-		b.deliver(Callback{Service: s.cfg.Name, Tag: e.Tag, Payload: e.Payload})
+		cbs = append(cbs, Callback{Service: s.cfg.Name, Tag: e.Tag, Payload: e.Payload})
 	}
+	return cbs, false
 }
 
 func (b *Bus) deliver(cb Callback) {
@@ -341,6 +377,12 @@ func (b *Bus) Invoke(serviceName, port string, payload any) error {
 	b.inflight.Add(1)
 	b.mu.Unlock()
 	defer b.inflight.Done()
+	if b.breakers != nil && !b.admitBreaker(serviceName, port) {
+		// Fast-fail while inflight is held: the callback lands on the
+		// inbox before Close can tear it down.
+		b.fastFail(serviceName, port)
+		return nil
+	}
 	if b.bm != nil {
 		b.bm.invocations.Inc()
 	}

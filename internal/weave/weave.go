@@ -90,6 +90,13 @@ type Options struct {
 	BPEL           bool
 	StructuredBPEL bool
 
+	// StageHook, when non-nil, runs before every stage with the stage
+	// name; a returned error aborts the run exactly like a stage
+	// failure. Chaos and fault-injection harnesses hang latency spikes
+	// and injected faults on the pipeline here; production paths leave
+	// it nil.
+	StageHook func(ctx context.Context, stage string) error
+
 	// Metrics, when non-nil, receives weave_runs_total,
 	// weave_canceled_total and the per-stage
 	// weave_stage_seconds{stage=...} histograms, plus whatever the
@@ -225,6 +232,13 @@ func (p *Pipeline) Run(ctx context.Context, in Input) (*Result, error) {
 			err = fmt.Errorf("weave: %s: %w", st.name, err)
 			finish(err)
 			return nil, err
+		}
+		if p.opts.StageHook != nil {
+			if err := p.opts.StageHook(ctx, st.name); err != nil {
+				err = fmt.Errorf("weave: %s: %w", st.name, err)
+				finish(err)
+				return nil, err
+			}
 		}
 		stBegan := time.Now()
 		emit(obs.Event{Kind: obs.EvStageBegin, Detail: st.name})

@@ -3,8 +3,9 @@
 # one record per BenchmarkMinimizeParallel row with the workload size,
 # worker count, cache configuration, ns/op, annotated-closure pair
 # comparisons and closure-cache hits. Also runs the scheduler
-# observability-overhead benchmark and writes BENCH_schedule.json with
-# the obs=off / obs=on ns/op pair and the overhead percentage. Finally
+# observability-overhead and no-fault retry-overhead benchmarks and
+# writes BENCH_schedule.json with the obs=off/obs=on and
+# retry=off/retry=on ns/op pairs and their overhead percentages. Finally
 # runs the dscweaverd weave-throughput benchmark and writes
 # BENCH_server.json with req/sec at minimizer parallelism 1 vs
 # GOMAXPROCS, and the weave pipeline stage benchmark into
@@ -66,29 +67,36 @@ echo "wrote $out ($(grep -c '"name"' "$out") records)"
 sched_raw="$(mktemp)"
 trap 'rm -f "$raw" "$sched_raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSchedulerObsOverhead' -benchtime "$sched_benchtime" -timeout 0 . | tee "$sched_raw"
+go test -run '^$' -bench 'BenchmarkSchedulerObsOverhead|BenchmarkRetryOverhead' -benchtime "$sched_benchtime" -timeout 0 . | tee "$sched_raw"
 
 awk '
-/^BenchmarkSchedulerObsOverhead\// {
+/^Benchmark(SchedulerObsOverhead|RetryOverhead)\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
     ns = 0
     for (i = 3; i < NF; i += 2) {
         if ($(i+1) == "ns/op") ns = $i
     }
-    if (name ~ /obs=off/) off = ns
-    if (name ~ /obs=on/)  on = ns
+    if (name ~ /obs=off/)   obs_off = ns
+    if (name ~ /obs=on/)    obs_on = ns
+    if (name ~ /retry=off/) retry_off = ns
+    if (name ~ /retry=on/)  retry_on = ns
 }
 END {
-    if (off == 0 || on == 0) { print "missing obs benchmark rows" > "/dev/stderr"; exit 1 }
-    pct = (on - off) / off * 100
+    if (obs_off == 0 || obs_on == 0) { print "missing obs benchmark rows" > "/dev/stderr"; exit 1 }
+    if (retry_off == 0 || retry_on == 0) { print "missing retry benchmark rows" > "/dev/stderr"; exit 1 }
+    obs_pct = (obs_on - obs_off) / obs_off * 100
+    retry_pct = (retry_on - retry_off) / retry_off * 100
     printf("{\n  \"benchmark\": \"BenchmarkSchedulerObsOverhead\",\n")
-    printf("  \"obs_off_ns_per_op\": %.0f,\n  \"obs_on_ns_per_op\": %.0f,\n", off, on)
-    printf("  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5\n}\n", pct)
+    printf("  \"obs_off_ns_per_op\": %.0f,\n  \"obs_on_ns_per_op\": %.0f,\n", obs_off, obs_on)
+    printf("  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5,\n", obs_pct)
+    printf("  \"retry_benchmark\": \"BenchmarkRetryOverhead\",\n")
+    printf("  \"retry_off_ns_per_op\": %.0f,\n  \"retry_on_ns_per_op\": %.0f,\n", retry_off, retry_on)
+    printf("  \"retry_overhead_pct\": %.2f,\n  \"retry_budget_pct\": 5\n}\n", retry_pct)
 }
 ' "$sched_raw" > "$sched_out"
 
-echo "wrote $sched_out (overhead $(grep -o '"overhead_pct": [0-9.-]*' "$sched_out" | cut -d' ' -f2)%)"
+echo "wrote $sched_out (obs overhead $(grep -o '"overhead_pct": [0-9.-]*' "$sched_out" | cut -d' ' -f2)%, retry overhead $(grep -o '"retry_overhead_pct": [0-9.-]*' "$sched_out" | cut -d' ' -f2)%)"
 
 server_raw="$(mktemp)"
 trap 'rm -f "$raw" "$sched_raw" "$server_raw"' EXIT
