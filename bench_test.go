@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dscweaver/internal/bpel"
+	"dscweaver/internal/cond"
 	"dscweaver/internal/core"
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
@@ -154,6 +155,68 @@ func BenchmarkPetriSoundnessMinimal(b *testing.B) {
 			b.Fatalf("unsound: %v", err)
 		}
 	}
+}
+
+// BenchmarkSoundness compares the validation kernels on the paper's
+// running example and on a synthetic wide-parallel net. Purchasing has
+// decisions, so its guard variants conflict on wait places and the
+// auto kernel picks the stubborn-set-reduced graph; the decision-free
+// wide net is conflict-free and is decided by the polynomial fast
+// path. The full rows force the unreduced graph for comparison.
+func BenchmarkSoundness(b *testing.B) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(name string, sc *core.ConstraintSet, g map[core.Node]cond.Expr, opts petri.ExploreOptions, method string) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := petri.ValidateOpt(context.Background(), sc, g, opts)
+				if err != nil || !rep.Sound {
+					b.Fatalf("unsound: %v", err)
+				}
+				if rep.Method != method {
+					b.Fatalf("method = %s, want %s", rep.Method, method)
+				}
+			}
+		})
+	}
+	run("purchasing/auto", res.Minimal, guards, petri.ExploreOptions{}, "reduced")
+	run("purchasing/full", res.Minimal, guards, petri.ExploreOptions{ReductionOff: true}, "full")
+	run("purchasing/parallel", res.Minimal, guards, petri.ExploreOptions{Parallel: 4}, "parallel+reduced")
+
+	wide, wideGuards := soundnessWorkload(b, 3, 8, 0.3, 11)
+	run("wide8/fastpath", wide, wideGuards, petri.ExploreOptions{}, "fastpath")
+	run("wide8/full", wide, wideGuards, petri.ExploreOptions{NoFastPath: true, ReductionOff: true}, "full")
+	huge, hugeGuards := soundnessWorkload(b, 4, 16, 0.25, 13)
+	run("wide16/fastpath", huge, hugeGuards, petri.ExploreOptions{}, "fastpath")
+}
+
+// soundnessWorkload builds a decision-free layered workload into an
+// activity-level constraint set with derived guards.
+func soundnessWorkload(b *testing.B, layers, width int, density float64, seed int64) (*core.ConstraintSet, map[core.Node]cond.Expr) {
+	b.Helper()
+	sc, err := workload.Layered(layers, width, density, seed).Constraints()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sc.Desugar(); err != nil {
+		b.Fatal(err)
+	}
+	asc, err := core.TranslateServices(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return asc, guards
 }
 
 func BenchmarkBPELGenerate(b *testing.B) {

@@ -18,6 +18,10 @@
 //	               data/control dependencies are extracted via PDG
 //	-bpel FILE     write the generated BPEL document to FILE
 //	-validate      run Petri-net soundness checking (default true)
+//	-max-states N  soundness exploration budget (0 = default, 1<<20)
+//	-no-reduction  validate on the full state graph (diagnostic)
+//	-validate-parallel N
+//	               soundness exploration worker count (0/1 = sequential)
 //	-parallel N    minimization worker count (0 = GOMAXPROCS)
 //	-run           execute the minimal set with no-op activities and
 //	               print the trace
@@ -50,6 +54,9 @@ func main() {
 	bpelOut := flag.String("bpel", "", "write generated BPEL to this file")
 	structured := flag.Bool("structured", false, "fold unconditional chains into <sequence> constructs in the BPEL output")
 	validate := flag.Bool("validate", true, "run Petri-net soundness validation")
+	maxStates := flag.Int("max-states", 0, "soundness exploration budget in states (0 = default, 1<<20)")
+	noReduction := flag.Bool("no-reduction", false, "validate on the full state graph instead of the reduced one (diagnostic; verdicts are identical)")
+	validateParallel := flag.Int("validate-parallel", 0, "soundness exploration worker count (0 or 1 = sequential)")
 	run := flag.Bool("run", false, "execute the minimal set with no-op activities")
 	traceOut := flag.String("trace", "", "with -run, write the execution trace as JSON to this file")
 	dotOut := flag.String("dot", "", "write the minimal constraint graph as Graphviz to this file")
@@ -98,13 +105,16 @@ func main() {
 		fail(err)
 	}
 	res, err := weave.Run(ctx, weave.Input{Source: string(src)}, weave.Options{
-		Frontend:       fe,
-		Parallelism:    *parallel,
-		Validate:       *validate,
-		BPEL:           *bpelOut != "",
-		StructuredBPEL: *structured,
-		Metrics:        reg,
-		Events:         sink,
+		Frontend:             fe,
+		Parallelism:          *parallel,
+		Validate:             *validate,
+		MaxStates:            *maxStates,
+		ValidateReductionOff: *noReduction,
+		ValidateParallel:     *validateParallel,
+		BPEL:                 *bpelOut != "",
+		StructuredBPEL:       *structured,
+		Metrics:              reg,
+		Events:               sink,
 	})
 	if err != nil {
 		fail(err)
@@ -145,7 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "validation FAILED: deadlocks=%v noCompletion=%v\n", rep.Deadlocks, rep.NoCompletion)
 			os.Exit(1)
 		}
-		fmt.Printf("petri-net validation:       sound (%d states)\n", rep.StateSpace.States)
+		fmt.Printf("petri-net validation:       sound (%d states, %s kernel)\n", rep.StateSpace.States, rep.Method)
 	}
 
 	if *explain != "" {

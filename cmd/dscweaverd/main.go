@@ -25,6 +25,8 @@
 //	-config FILE     JSON config file (flags override it)
 //	-events FILE     rotating JSONL event log path
 //	-parallel N      default minimizer worker count per weave
+//	-validate-parallel N
+//	                 default soundness-exploration worker count per weave
 //	-concurrency N   weave worker pool size (default GOMAXPROCS)
 //	-queue-wait D    max wait for a pool slot before shedding (default 2s)
 //
@@ -50,6 +52,7 @@ func main() {
 	configPath := flag.String("config", "", "JSON config file (flags override it)")
 	events := flag.String("events", "", "rotating JSONL event log path")
 	parallel := flag.Int("parallel", 0, "default minimizer worker count per weave (0 = GOMAXPROCS)")
+	validateParallel := flag.Int("validate-parallel", 0, "default soundness-exploration worker count per weave (0 or 1 = sequential)")
 	concurrency := flag.Int("concurrency", 0, "weave worker pool size (0 = GOMAXPROCS)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for a pool slot before shedding with 429 (0 = 2s default)")
 	flag.Parse()
@@ -75,6 +78,9 @@ func main() {
 	}
 	if *parallel != 0 {
 		cfg.WeaveParallelism = *parallel
+	}
+	if *validateParallel != 0 {
+		cfg.ValidateParallel = *validateParallel
 	}
 	if *concurrency != 0 {
 		cfg.WeaveConcurrency = *concurrency

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"dscweaver/internal/chaos/leak"
 	"dscweaver/internal/core"
 	"dscweaver/internal/obs"
+	"dscweaver/internal/petri"
 	"dscweaver/internal/schedule"
 	"dscweaver/internal/server"
 	"dscweaver/internal/services"
@@ -225,6 +227,59 @@ func TestChaosMinimizeBitIdentical(t *testing.T) {
 		if jittered.Minimize.EquivalenceChecks != base.Minimize.EquivalenceChecks {
 			t.Errorf("seed %d: EquivalenceChecks = %d, chaos-free run = %d",
 				seed, jittered.Minimize.EquivalenceChecks, base.Minimize.EquivalenceChecks)
+		}
+	})
+}
+
+// TestChaosValidateParallelCancel: a seeded cancellation landing
+// mid-exploration must abort the parallel soundness frontier cleanly —
+// the run either completes with the correct verdict or fails with
+// context.Canceled, and no worker goroutine survives either way. The
+// net is wide and decision-free and the reduction and fast path are
+// forced off, so the full graph takes long enough that nearly every
+// seed's cancel fires while the frontier workers are live.
+func TestChaosValidateParallelCancel(t *testing.T) {
+	w := workload.Layered(3, 8, 0.3, 11)
+	sc, err := w.Constraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Desugar(); err != nil {
+		t.Fatal(err)
+	}
+	asc, err := core.TranslateServices(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		leak.Check(t)
+		inj := chaos.New(chaos.Config{Seed: seed, CancelP: 1, CancelWithin: 50 * time.Millisecond})
+		ctx := context.Background()
+		if delay, ok := inj.CancelPlan("petri/parallel"); ok {
+			cctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			timer := time.AfterFunc(delay, cancel)
+			defer timer.Stop()
+			ctx = cctx
+		}
+		rep, err := petri.ValidateOpt(ctx, asc, guards, petri.ExploreOptions{
+			Parallel:     4,
+			NoFastPath:   true,
+			ReductionOff: true,
+		})
+		switch {
+		case err == nil:
+			if !rep.Sound {
+				t.Errorf("seed %d: wide layered workload reported unsound: %+v", seed, rep)
+			}
+		case errors.Is(err, context.Canceled):
+			// Aborted mid-frontier; leak.Check verifies the workers died.
+		default:
+			t.Fatalf("seed %d: unexpected error: %v", seed, err)
 		}
 	})
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
+
+	"dscweaver/internal/obs"
 )
 
 // ctxCheckEvery is how many explored states sit between context
@@ -43,87 +46,107 @@ type StateSpace struct {
 	// MaxTokens is the largest token count observed in any single
 	// place.
 	MaxTokens int
-	// Truncated is true if the exploration hit the state limit.
+	// Truncated is true if MaxStates refused a successor. The walk
+	// stops at the first refusal, so every statistic — States,
+	// Transitions, Deadlocks, Finals, DeadTransitions, MaxTokens —
+	// covers only the prefix visited up to that point. A truncated
+	// space is a budget cut, never a certificate: callers must not
+	// conclude anything from the absence of a deadlock in it.
 	Truncated bool
 }
 
-// ExploreOptions tunes Explore.
+// ExploreOptions tunes Explore and CheckSoundness.
 type ExploreOptions struct {
-	// MaxStates bounds the exploration (default 1 << 20).
+	// MaxStates bounds the exploration (default 1 << 20, capped at
+	// 1 << 26 by the packed state-id layout).
 	MaxStates int
 	// Bound is the per-place token bound for the boundedness check
 	// (default 16). Exceeding it clears Bounded but does not stop the
 	// exploration.
 	Bound int
 	// Final classifies completion markings; may be nil (no marking is
-	// final, every dead marking is a deadlock).
+	// final, every dead marking is a deadlock). Prefer FinalPlaces
+	// when the predicate has that structural shape: an opaque func
+	// forces the kernels to decode every packed state and disables the
+	// structural fast path and reduction.
 	Final func(Marking) bool
+	// FinalPlaces declares a marking final when every listed place
+	// holds at least one token — the all-activities-determined shape
+	// Validate uses. Ignored when Final is set.
+	FinalPlaces []PlaceID
+	// ReductionOff disables stubborn-set partial-order reduction in
+	// CheckSoundness (Explore never reduces: its statistics describe
+	// the full graph).
+	ReductionOff bool
+	// NoFastPath disables the polynomial structural fast path in
+	// CheckSoundness.
+	NoFastPath bool
+	// Parallel sets the worker count for parallel frontier
+	// exploration in CheckSoundness; values ≤ 1 run sequentially.
+	Parallel int
+	// Metrics receives kernel counters (states explored, reduction
+	// skips, fast-path hits); nil is fine.
+	Metrics *obs.Registry
 }
 
-// Explore performs a breadth-first reachability analysis from the
-// initial marking. ctx is checked every ctxCheckEvery states alongside
-// MaxStates; a canceled exploration returns ctx.Err().
-func (n *Net) Explore(ctx context.Context, opts ExploreOptions) (*StateSpace, error) {
+func (opts *ExploreOptions) setDefaults() {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 1 << 20
+	}
+	if opts.MaxStates > maxPackedStates {
+		opts.MaxStates = maxPackedStates
 	}
 	if opts.Bound <= 0 {
 		opts.Bound = 16
 	}
-	ss := &StateSpace{Bounded: true}
-	seen := map[string]bool{}
-	fired := make([]bool, len(n.transitions))
+}
 
-	start := n.InitialMarking()
-	queue := []Marking{start}
-	seen[start.Key()] = true
+// packedFinal lowers the options' final predicate onto packed states.
+func packedFinal(c *compiled, opts ExploreOptions) (func([]byte) bool, []int32) {
+	if opts.Final != nil {
+		f := opts.Final
+		return func(s []byte) bool { return f(c.decode(s)) }, nil
+	}
+	if len(opts.FinalPlaces) == 0 {
+		return func([]byte) bool { return false }, nil
+	}
+	fp := c.compileFinalPlaces(opts.FinalPlaces)
+	return func(s []byte) bool {
+		for _, p := range fp {
+			if c.placeTotal(s, p) == 0 {
+				return false
+			}
+		}
+		return true
+	}, fp
+}
 
-	for len(queue) > 0 {
-		m := queue[0]
-		queue = queue[1:]
-		ss.States++
-		if err := ctxErrEvery(ctx, ss.States); err != nil {
-			return nil, err
-		}
-		for p := range n.places {
-			if k := m.Tokens(PlaceID(p)); k > ss.MaxTokens {
-				ss.MaxTokens = k
-				if k > opts.Bound {
-					ss.Bounded = false
-				}
-			}
-		}
-		enabled := n.Enabled(m)
-		isFinal := opts.Final != nil && opts.Final(m)
-		if isFinal {
-			ss.Finals = append(ss.Finals, m)
-		}
-		if len(enabled) == 0 && !isFinal {
-			ss.Deadlocks = append(ss.Deadlocks, m)
-		}
-		for _, t := range enabled {
-			fired[t] = true
-			next, err := n.Fire(m, t)
-			if err != nil {
-				return nil, err
-			}
-			ss.Transitions++
-			key := next.Key()
-			if !seen[key] {
-				if len(seen) >= opts.MaxStates {
-					ss.Truncated = true
-					continue
-				}
-				seen[key] = true
-				queue = append(queue, next)
-			}
-		}
+// Explore performs a breadth-first reachability analysis from the
+// initial marking, always over the full (unreduced) graph — its
+// statistics describe every reachable marking and firing. It runs on
+// the packed kernel and falls back to the reference kernel when a
+// token count leaves the packed range. ctx is checked every
+// ctxCheckEvery states alongside MaxStates; a canceled exploration
+// returns ctx.Err(). See StateSpace.Truncated for what a MaxStates
+// cut means.
+func (n *Net) Explore(ctx context.Context, opts ExploreOptions) (*StateSpace, error) {
+	opts.setDefaults()
+	c, err := compile(n)
+	if err != nil {
+		return n.exploreRef(ctx, opts)
 	}
-	for t, f := range fired {
-		if !f {
-			ss.DeadTransitions = append(ss.DeadTransitions, TransitionID(t))
-		}
+	var isFinal func([]byte) bool
+	if opts.Final != nil || len(opts.FinalPlaces) > 0 {
+		isFinal, _ = packedFinal(c, opts)
 	}
+	ss, err := c.exploreStats(ctx, opts, isFinal)
+	if err != nil {
+		if isOverflow(err) {
+			return n.exploreRef(ctx, opts)
+		}
+		return nil, err
+	}
+	countStates(opts.Metrics, ss.States)
 	return ss, nil
 }
 
@@ -138,94 +161,150 @@ type SoundnessReport struct {
 	// Unreachable lists final-predicate violations: true when no final
 	// marking is reachable at all.
 	NoCompletion bool
-	// StateSpace carries the exploration statistics.
+	// StateSpace carries the exploration statistics. The fast path
+	// reports the length of its single greedy run, not the full
+	// interleaving count (which it exists to avoid); the reduced
+	// kernels report the reduced graph's size.
 	StateSpace *StateSpace
+	// Method names the kernel that produced the verdict: "fastpath",
+	// "full", "reduced", "parallel", "parallel+reduced" or
+	// "reference" (the unpacked fallback).
+	Method string
+	// Classification summarizes the structural analysis of the net
+	// (e.g. "progressive conflict-free wildcard-safe uncolored"), or
+	// "general" when no property holds.
+	Classification string
 }
 
-// CheckSoundness explores the net and verifies the classical workflow
-// soundness conditions relative to the final predicate:
+// CheckSoundness verifies the classical workflow soundness conditions
+// relative to the final predicate:
 //
 //  1. option to complete — from every reachable marking some final
 //     marking is reachable;
 //  2. no deadlocks — every dead marking is final.
 //
-// Dead transitions are reported through the embedded StateSpace but do
+// Dead transitions are reported through Explore's StateSpace but do
 // not make a net unsound here: the builder intentionally emits guard
 // variants for branch assignments that a particular run never takes.
+//
+// The verdict is produced by the cheapest kernel whose preconditions
+// hold, in order: the polynomial structural fast path (progressive +
+// conflict-free + uncolored nets with monotone FinalPlaces), then an
+// explicit exploration — stubborn-set reduced when the net qualifies
+// (ReductionOff forces the full graph), parallel when opts.Parallel >
+// 1 — and finally the unpacked reference kernel when a marking leaves
+// the packed token range. Every path returns the same Sound,
+// NoCompletion and Deadlocks; Method records which one ran.
 //
 // ctx is checked every ctxCheckEvery explored states alongside
 // MaxStates; a canceled check returns ctx.Err() rather than a verdict
 // from a partial exploration.
 func (n *Net) CheckSoundness(ctx context.Context, opts ExploreOptions) (*SoundnessReport, error) {
-	if opts.Final == nil {
-		return nil, fmt.Errorf("petri: CheckSoundness requires a Final predicate")
+	if opts.Final == nil && len(opts.FinalPlaces) == 0 {
+		return nil, fmt.Errorf("petri: CheckSoundness requires a Final predicate or FinalPlaces")
 	}
-	// Forward exploration with successor recording for the
-	// option-to-complete check.
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = 1 << 20
+	opts.setDefaults()
+	c, err := compile(n)
+	if err != nil {
+		return n.soundnessViaRef(ctx, opts)
 	}
-	type node struct {
-		m     Marking
-		succs []int
-		final bool
-		dead  bool
-	}
-	var nodes []node
-	index := map[string]int{}
+	isFinal, fp := packedFinal(c, opts)
+	class := c.classification()
 
-	start := n.InitialMarking()
-	index[start.Key()] = 0
-	nodes = append(nodes, node{m: start})
-	truncated := false
-
-	for i := 0; i < len(nodes); i++ {
-		if err := ctxErrEvery(ctx, i); err != nil {
+	if fp != nil && !opts.NoFastPath && c.fastpathEligible(fp) {
+		rep, err := c.fastpath(ctx, fp)
+		if err == nil {
+			rep.Method = "fastpath"
+			rep.Classification = class
+			recordVerdict(opts.Metrics, rep)
+			return rep, nil
+		}
+		if !isOverflow(err) {
 			return nil, err
 		}
-		m := nodes[i].m
-		enabled := n.Enabled(m)
-		nodes[i].final = opts.Final(m)
-		nodes[i].dead = len(enabled) == 0
-		for _, t := range enabled {
-			next, err := n.Fire(m, t)
-			if err != nil {
-				return nil, err
-			}
-			key := next.Key()
-			j, ok := index[key]
-			if !ok {
-				if len(nodes) >= opts.MaxStates {
-					truncated = true
-					continue
-				}
-				j = len(nodes)
-				index[key] = j
-				nodes = append(nodes, node{m: next})
-			}
-			nodes[i].succs = append(nodes[i].succs, j)
-		}
+		// Token overflow: fall through to the exploring kernels (whose
+		// own overflow handling lands on the reference kernel).
 	}
 
-	// Backward reachability from final markings.
-	preds := make([][]int, len(nodes))
-	for i, nd := range nodes {
-		for _, j := range nd.succs {
-			preds[j] = append(preds[j], i)
+	reduce := fp != nil && !opts.ReductionOff && c.reductionEligible(fp)
+	if !opts.ReductionOff && !reduce {
+		countSkippedReduction(opts.Metrics)
+	}
+	var (
+		g      *sgraph
+		method string
+		gerr   error
+	)
+	if opts.Parallel > 1 {
+		g, gerr = c.exploreParallel(ctx, opts.Parallel, opts.MaxStates, isFinal, reduce)
+		method = "parallel"
+		if reduce {
+			method = "parallel+reduced"
+		}
+	} else {
+		g, gerr = c.exploreGraph(ctx, opts.MaxStates, isFinal, reduce)
+		method = "full"
+		if reduce {
+			method = "reduced"
 		}
 	}
-	canComplete := make([]bool, len(nodes))
-	var stack []int
-	for i, nd := range nodes {
-		if nd.final {
+	if gerr != nil {
+		if isOverflow(gerr) {
+			return n.soundnessViaRef(ctx, opts)
+		}
+		return nil, gerr
+	}
+	rep := n.soundnessFromGraph(c, g)
+	rep.Method = method
+	rep.Classification = class
+	recordVerdict(opts.Metrics, rep)
+	return rep, nil
+}
+
+// soundnessViaRef runs the unpacked fallback and tags its report.
+func (n *Net) soundnessViaRef(ctx context.Context, opts ExploreOptions) (*SoundnessReport, error) {
+	rep, err := n.checkSoundnessRef(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	recordVerdict(opts.Metrics, rep)
+	return rep, nil
+}
+
+// soundnessFromGraph assembles the verdict from an explored successor
+// graph: backward reachability from the final markings, then the two
+// soundness conditions. Deadlock diagnostics are decoded and sorted,
+// so reports are identical across kernels and worker schedules.
+func (n *Net) soundnessFromGraph(c *compiled, g *sgraph) *SoundnessReport {
+	cnt := make([]int32, g.n+1)
+	for _, to := range g.edgeTo {
+		cnt[to+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	preds := make([]int32, len(g.edgeTo))
+	pos := make([]int32, g.n)
+	copy(pos, cnt[:g.n])
+	for i := range g.edgeTo {
+		to := g.edgeTo[i]
+		preds[pos[to]] = g.edgeFrom[i]
+		pos[to]++
+	}
+
+	canComplete := make([]bool, g.n)
+	var stack []int32
+	for i := 0; i < g.n; i++ {
+		if g.final[i] {
 			canComplete[i] = true
-			stack = append(stack, i)
+			stack = append(stack, int32(i))
 		}
 	}
 	for len(stack) > 0 {
 		j := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, i := range preds[j] {
+		for e := cnt[j]; e < cnt[j+1]; e++ {
+			i := preds[e]
 			if !canComplete[i] {
 				canComplete[i] = true
 				stack = append(stack, i)
@@ -233,15 +312,18 @@ func (n *Net) CheckSoundness(ctx context.Context, opts ExploreOptions) (*Soundne
 		}
 	}
 
-	rep := &SoundnessReport{Sound: true, StateSpace: &StateSpace{States: len(nodes), Bounded: true, Truncated: truncated}}
+	rep := &SoundnessReport{
+		Sound:      true,
+		StateSpace: &StateSpace{States: g.n, Bounded: true, Truncated: g.truncated},
+	}
 	anyFinal := false
-	for i, nd := range nodes {
-		if nd.final {
+	for i := 0; i < g.n; i++ {
+		if g.final[i] {
 			anyFinal = true
 		}
-		if nd.dead && !nd.final {
+		if g.dead[i] && !g.final[i] {
 			rep.Sound = false
-			rep.Deadlocks = append(rep.Deadlocks, n.describeMarking(nd.m))
+			rep.Deadlocks = append(rep.Deadlocks, n.describeMarking(c.decode(g.state(int32(i)))))
 		}
 		if !canComplete[i] {
 			rep.Sound = false
@@ -251,12 +333,12 @@ func (n *Net) CheckSoundness(ctx context.Context, opts ExploreOptions) (*Soundne
 		rep.Sound = false
 		rep.NoCompletion = true
 	}
-	if truncated {
+	if g.truncated {
 		// A truncated exploration cannot certify soundness.
 		rep.Sound = false
 	}
 	sort.Strings(rep.Deadlocks)
-	return rep, nil
+	return rep
 }
 
 // describeMarking renders a marking with place names for diagnostics.
@@ -278,16 +360,30 @@ func (n *Net) describeMarking(m Marking) string {
 		}
 	}
 	sort.Strings(parts)
-	return "{" + joinComma(parts) + "}"
+	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-func joinComma(ss []string) string {
-	out := ""
-	for i, s := range ss {
-		if i > 0 {
-			out += ", "
-		}
-		out += s
+// --- kernel metrics ------------------------------------------------------
+
+func countStates(reg *obs.Registry, states int) {
+	if reg != nil {
+		reg.Counter("petri_states_explored_total").Add(int64(states))
 	}
-	return out
+}
+
+func countSkippedReduction(reg *obs.Registry) {
+	if reg != nil {
+		reg.Counter("petri_reduction_skipped_total").Inc()
+	}
+}
+
+func recordVerdict(reg *obs.Registry, rep *SoundnessReport) {
+	if reg == nil {
+		return
+	}
+	countStates(reg, rep.StateSpace.States)
+	reg.Counter("petri_validate_total", "method", rep.Method).Inc()
+	if rep.Method == "fastpath" {
+		reg.Counter("petri_validate_fastpath_total").Inc()
+	}
 }

@@ -261,21 +261,20 @@ func Validate(ctx context.Context, sc *core.ConstraintSet, guards map[core.Node]
 }
 
 // ValidateOpt is Validate with explicit exploration options (MaxStates
-// most usefully); the Final predicate is always the all-activities-
-// determined completion marking and any caller-supplied one is
-// ignored.
+// most usefully); the final predicate is always the all-activities-
+// determined completion marking — expressed structurally through
+// FinalPlaces so the kernels can classify it — and any caller-supplied
+// Final or FinalPlaces is ignored.
 func ValidateOpt(ctx context.Context, sc *core.ConstraintSet, guards map[core.Node]cond.Expr, opts ExploreOptions) (*SoundnessReport, error) {
 	n, m, err := Build(sc, guards)
 	if err != nil {
 		return nil, err
 	}
-	opts.Final = func(mk Marking) bool {
-		for _, p := range m.Done {
-			if mk.Tokens(p) == 0 {
-				return false
-			}
-		}
-		return true
+	opts.Final = nil
+	opts.FinalPlaces = opts.FinalPlaces[:0]
+	for _, p := range m.Done {
+		opts.FinalPlaces = append(opts.FinalPlaces, p)
 	}
+	sort.Slice(opts.FinalPlaces, func(i, j int) bool { return opts.FinalPlaces[i] < opts.FinalPlaces[j] })
 	return n.CheckSoundness(ctx, opts)
 }

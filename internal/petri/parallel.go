@@ -1,0 +1,232 @@
+// Parallel frontier exploration for the packed kernel.
+//
+// The reachability BFS is level-synchronized: all markings at depth d
+// are expanded by a worker pool before depth d+1 starts. The visited
+// set is sharded by the high bits of the state hash with one mutex per
+// shard, so concurrent inserts from different workers rarely contend;
+// a state id is shard<<26 | local-index. Workers accumulate edges,
+// final/dead flags and next-frontier ids in worker-local slices that
+// are merged single-threaded between levels — no shared growing
+// slices, no atomics on the hot path beyond the global MaxStates
+// counter.
+//
+// The explored graph is deterministic for every run that is not
+// truncated: the state set, edge set and flags depend only on the net
+// (shard-local insertion order varies run to run, but the verdict
+// layer sorts its diagnostics, so reports are bit-identical). A
+// truncated parallel run may retain a schedule-dependent prefix — like
+// every truncated run it is only ever reported as "not certified".
+//
+// Stubborn-set reduction composes: each worker reduces with its own
+// scratch context against the same static disabler tables.
+
+package petri
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	shardLocalBits = 26
+	shardLocalMask = 1<<shardLocalBits - 1
+)
+
+type pshard struct {
+	mu sync.Mutex
+	st *stateTable
+}
+
+// pworkerOut is one worker's accumulation for one level.
+type pworkerOut struct {
+	edgeFrom []uint32 // sharded ids
+	edgeTo   []uint32
+	finals   []uint32
+	deads    []uint32
+	next     []uint32
+	err      error
+}
+
+// exploreParallel is the parallel counterpart of exploreGraph.
+func (c *compiled) exploreParallel(ctx context.Context, workers, maxStates int, isFinal func([]byte) bool, reduce bool) (*sgraph, error) {
+	nshards := 1
+	for nshards < 4*workers && nshards < 64 {
+		nshards <<= 1
+	}
+	shards := make([]*pshard, nshards)
+	for i := range shards {
+		shards[i] = &pshard{st: newStateTable(c.stateLen, 256)}
+	}
+	shardOf := func(h uint64) *pshard { return shards[int(h>>58)&(nshards-1)] }
+	idOf := func(h uint64, local int32) uint32 {
+		return uint32(int(h>>58)&(nshards-1))<<shardLocalBits | uint32(local)
+	}
+
+	var total atomic.Int64
+	truncated := false
+	var truncMu sync.Mutex
+
+	// insert interns s, returning its sharded id; capped reports a new
+	// state refused by MaxStates.
+	insert := func(s []byte) (id uint32, capped, isNew bool) {
+		h := hashState(s)
+		sh := shardOf(h)
+		sh.mu.Lock()
+		if local, ok := sh.st.find(h, s); ok {
+			sh.mu.Unlock()
+			return idOf(h, local), false, false
+		}
+		if total.Add(1) > int64(maxStates) {
+			total.Add(-1)
+			sh.mu.Unlock()
+			return 0, true, false
+		}
+		local := sh.st.insert(h, s)
+		sh.mu.Unlock()
+		return idOf(h, local), false, true
+	}
+	// loadState copies a state out under the shard lock (the arena may
+	// be growing concurrently).
+	loadState := func(id uint32, buf []byte) {
+		sh := shards[id>>shardLocalBits]
+		sh.mu.Lock()
+		copy(buf, sh.st.state(int32(id&shardLocalMask)))
+		sh.mu.Unlock()
+	}
+
+	if reduce {
+		c.ensureDisablers()
+	}
+	if err := ctxErrEvery(ctx, 0); err != nil {
+		return nil, err
+	}
+
+	rootID, _, _ := insert(c.initial)
+	frontier := []uint32{rootID}
+	var edgeFrom, edgeTo, finals, deads []uint32
+
+	type wscratch struct {
+		state      []byte
+		dst        []byte
+		enabledBuf []int32
+		sb         *stubbornCtx
+	}
+	scratch := make([]*wscratch, workers)
+	for w := range scratch {
+		ws := &wscratch{
+			state:      make([]byte, c.stateLen),
+			dst:        make([]byte, c.stateLen),
+			enabledBuf: make([]int32, 0, len(c.trans)),
+		}
+		if reduce {
+			ws.sb = newStubbornCtx(c)
+		}
+		scratch[w] = ws
+	}
+
+	for len(frontier) > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		outs := make([]pworkerOut, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := scratch[w]
+				r := &outs[w]
+				polled := 0
+				for i := w; i < len(frontier); i += workers {
+					if polled++; polled&255 == 0 && ctx != nil {
+						if err := ctx.Err(); err != nil {
+							r.err = err
+							return
+						}
+					}
+					id := frontier[i]
+					loadState(id, ws.state)
+					enabled := c.enabledList(ws.state, ws.enabledBuf)
+					if isFinal(ws.state) {
+						r.finals = append(r.finals, id)
+					}
+					if len(enabled) == 0 {
+						r.deads = append(r.deads, id)
+					}
+					expand := enabled
+					if ws.sb != nil && len(enabled) > 1 {
+						expand = ws.sb.reduce(ws.state, enabled)
+					}
+					for _, t := range expand {
+						if err := c.fireTo(ws.state, t, ws.dst); err != nil {
+							r.err = err
+							return
+						}
+						succ, capped, isNew := insert(ws.dst)
+						if capped {
+							truncMu.Lock()
+							truncated = true
+							truncMu.Unlock()
+							continue
+						}
+						r.edgeFrom = append(r.edgeFrom, id)
+						r.edgeTo = append(r.edgeTo, succ)
+						if isNew {
+							r.next = append(r.next, succ)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for w := range outs {
+			if err := outs[w].err; err != nil {
+				return nil, err
+			}
+			frontier = append(frontier, outs[w].next...)
+			edgeFrom = append(edgeFrom, outs[w].edgeFrom...)
+			edgeTo = append(edgeTo, outs[w].edgeTo...)
+			finals = append(finals, outs[w].finals...)
+			deads = append(deads, outs[w].deads...)
+		}
+	}
+
+	// Deterministic merge into a dense graph: shard s gets the id range
+	// [base[s], base[s]+len(s)).
+	base := make([]int, nshards+1)
+	for s := 0; s < nshards; s++ {
+		base[s+1] = base[s] + shards[s].st.count()
+	}
+	dense := func(id uint32) int32 {
+		return int32(base[id>>shardLocalBits] + int(id&shardLocalMask))
+	}
+	n := base[nshards]
+	g := &sgraph{
+		n:         n,
+		edgeFrom:  make([]int32, len(edgeFrom)),
+		edgeTo:    make([]int32, len(edgeTo)),
+		final:     make([]bool, n),
+		dead:      make([]bool, n),
+		truncated: truncated,
+	}
+	for i := range edgeFrom {
+		g.edgeFrom[i] = dense(edgeFrom[i])
+		g.edgeTo[i] = dense(edgeTo[i])
+	}
+	for _, id := range finals {
+		g.final[dense(id)] = true
+	}
+	for _, id := range deads {
+		g.dead[dense(id)] = true
+	}
+	g.state = func(id int32) []byte {
+		s := sort.Search(nshards, func(s int) bool { return base[s+1] > int(id) })
+		return shards[s].st.state(int32(int(id) - base[s]))
+	}
+	return g, nil
+}

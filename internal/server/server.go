@@ -53,6 +53,11 @@ type Config struct {
 	// WeaveConcurrency bounds concurrently running weave/simulate
 	// requests — the worker pool (default GOMAXPROCS).
 	WeaveConcurrency int
+	// ValidateParallel is the default worker count for the validate
+	// stage's parallel frontier exploration (0 or 1 = sequential,
+	// which is right for most nets: the packed kernel clears them in
+	// well under a millisecond).
+	ValidateParallel int
 	// QueueWait bounds how long an admitted request may sit waiting for
 	// a weave pool slot before the server sheds it with 429 +
 	// Retry-After (default 2s; always capped by the request timeout).
@@ -129,6 +134,7 @@ type fileConfig struct {
 	ShutdownGrace    string               `json:"shutdown_grace"`
 	WeaveParallelism int                  `json:"weave_parallelism"`
 	WeaveConcurrency int                  `json:"weave_concurrency"`
+	ValidateParallel int                  `json:"validate_parallel"`
 	QueueWait        string               `json:"queue_wait"`
 	ReadTimeout      string               `json:"read_timeout"`
 	WriteTimeout     string               `json:"write_timeout"`
@@ -160,6 +166,7 @@ func LoadConfig(path string) (Config, error) {
 		MaxBodyBytes:     fc.MaxBodyBytes,
 		WeaveParallelism: fc.WeaveParallelism,
 		WeaveConcurrency: fc.WeaveConcurrency,
+		ValidateParallel: fc.ValidateParallel,
 		MaxHeaderBytes:   fc.MaxHeaderBytes,
 		RunHistory:       fc.RunHistory,
 		EventsPath:       fc.EventsPath,

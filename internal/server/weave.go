@@ -33,6 +33,15 @@ type WeaveRequest struct {
 	// Parallelism overrides the server's minimizer worker count for
 	// this request (0 = server default, capped at 256).
 	Parallelism int `json:"parallelism,omitempty"`
+	// MaxStates bounds the soundness exploration for this request
+	// (0 = the petri default, 1<<20).
+	MaxStates int `json:"max_states,omitempty"`
+	// NoReduction forces the validate stage onto the full state graph
+	// (diagnostic escape hatch; verdicts are identical either way).
+	NoReduction bool `json:"no_reduction,omitempty"`
+	// ValidateParallel overrides the server's validate-stage worker
+	// count for this request (0 = server default, capped at 256).
+	ValidateParallel int `json:"validate_parallel,omitempty"`
 }
 
 func (q *WeaveRequest) validate() error {
@@ -44,6 +53,12 @@ func (q *WeaveRequest) validate() error {
 	}
 	if q.Parallelism < 0 || q.Parallelism > maxParallelism {
 		return fmt.Errorf("parallelism %d out of range [0, %d]", q.Parallelism, maxParallelism)
+	}
+	if q.ValidateParallel < 0 || q.ValidateParallel > maxParallelism {
+		return fmt.Errorf("validate_parallel %d out of range [0, %d]", q.ValidateParallel, maxParallelism)
+	}
+	if q.MaxStates < 0 {
+		return fmt.Errorf("max_states %d must be ≥ 0", q.MaxStates)
 	}
 	return nil
 }
@@ -96,10 +111,14 @@ type WeaveResponse struct {
 	// Truncated flags a verdict from a MaxStates-capped exploration: the
 	// set was NOT certified sound (Sound is false) but no conflict was
 	// exhibited either — the exploration simply ran out of budget.
-	Sound     *bool    `json:"sound,omitempty"`
-	States    int      `json:"states,omitempty"`
-	Truncated bool     `json:"truncated,omitempty"`
-	Deadlocks []string `json:"deadlocks,omitempty"`
+	// ValidateMethod names the kernel that produced the verdict
+	// (fastpath, reduced, full, parallel, parallel+reduced or
+	// reference), so /metrics rates have per-response ground truth.
+	Sound          *bool    `json:"sound,omitempty"`
+	States         int      `json:"states,omitempty"`
+	Truncated      bool     `json:"truncated,omitempty"`
+	Deadlocks      []string `json:"deadlocks,omitempty"`
+	ValidateMethod string   `json:"validate_method,omitempty"`
 
 	BPEL string `json:"bpel,omitempty"`
 }
@@ -124,6 +143,12 @@ func (s *Server) weaveOptions(q *WeaveRequest, sink obs.Sink, withOutputs bool) 
 		opts.Validate = q.wantValidate()
 		opts.BPEL = q.BPEL
 		opts.StructuredBPEL = q.Structured
+		opts.MaxStates = q.MaxStates
+		opts.ValidateReductionOff = q.NoReduction
+		opts.ValidateParallel = q.ValidateParallel
+		if opts.ValidateParallel == 0 {
+			opts.ValidateParallel = s.cfg.ValidateParallel
+		}
 	}
 	return opts
 }
@@ -159,6 +184,7 @@ func buildWeaveResponse(res *weave.Result, runID string) *WeaveResponse {
 		resp.States = rep.StateSpace.States
 		resp.Truncated = rep.StateSpace.Truncated
 		resp.Deadlocks = rep.Deadlocks
+		resp.ValidateMethod = rep.Method
 	}
 	if len(res.BPELXML) > 0 {
 		resp.BPEL = string(bytes.TrimSpace(res.BPELXML))

@@ -8,11 +8,14 @@
 # retry=off/retry=on ns/op pairs and their overhead percentages. Finally
 # runs the dscweaverd weave-throughput benchmark and writes
 # BENCH_server.json with req/sec at minimizer parallelism 1 vs
-# GOMAXPROCS, and the weave pipeline stage benchmark into
-# BENCH_weave.json with the per-stage ns/op breakdown.
+# GOMAXPROCS, the weave pipeline stage benchmark into
+# BENCH_weave.json with the per-stage ns/op breakdown, and the
+# soundness-kernel comparison into BENCH_soundness.json with one record
+# per kernel/net pair.
 #
 #   scripts/bench.sh [minimize-output.json] [schedule-output.json] \
-#                    [server-output.json] [weave-output.json]
+#                    [server-output.json] [weave-output.json] \
+#                    [soundness-output.json]
 #
 # BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
 # to include the n=1024 rows (minutes per op). SCHED_BENCHTIME (default
@@ -26,6 +29,7 @@ out="${1:-BENCH_minimize.json}"
 sched_out="${2:-BENCH_schedule.json}"
 server_out="${3:-BENCH_server.json}"
 weave_out="${4:-BENCH_weave.json}"
+soundness_out="${5:-BENCH_soundness.json}"
 benchtime="${BENCHTIME:-1x}"
 sched_benchtime="${SCHED_BENCHTIME:-20x}"
 raw="$(mktemp)"
@@ -168,3 +172,35 @@ END {
 ' "$weave_raw" > "$weave_out"
 
 echo "wrote $weave_out ($(grep -c '"name"' "$weave_out") records)"
+
+soundness_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sched_raw" "$server_raw" "$weave_raw" "$soundness_raw"' EXIT
+soundness_benchtime="${SOUNDNESS_BENCHTIME:-10x}"
+
+go test -run '^$' -bench 'BenchmarkSoundness' -benchtime "$soundness_benchtime" -timeout 0 . | tee "$soundness_raw"
+
+awk '
+/^BenchmarkSoundness\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    net = parts[2]; kernel = parts[3]
+    ns = 0; bytes = 0; allocs = 0
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == 0) next
+    recs[++count] = sprintf("  {\"name\": \"%s\", \"net\": \"%s\", \"kernel\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}",
+                            name, net, kernel, ns, bytes, allocs)
+}
+END {
+    if (count == 0) { print "missing soundness benchmark rows" > "/dev/stderr"; exit 1 }
+    print "["
+    for (i = 1; i <= count; i++) printf("%s%s\n", recs[i], i < count ? "," : "")
+    print "]"
+}
+' "$soundness_raw" > "$soundness_out"
+
+echo "wrote $soundness_out ($(grep -c '"name"' "$soundness_out") records)"
