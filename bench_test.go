@@ -301,24 +301,32 @@ func BenchmarkMinimizeExactConditional(b *testing.B) {
 	}
 }
 
-// BenchmarkMinimizeParallel sweeps the parallel, closure-caching
-// minimization engine across workload size and worker count on the
-// Bench C exact-conditional shape. The nocache/workers=1 rows replay
-// the seed algorithm (every closure re-derived per candidate×source)
-// and are the baseline the cache speedup is measured against; every
-// configuration produces the identical minimal set. scripts/bench.sh
-// parses this sweep into BENCH_minimize.json. The n=1024 rows take
-// minutes per op and only run when DSCW_BENCH_LARGE is set.
+// BenchmarkMinimizeParallel sweeps the minimization engine across
+// workload size, worker count and engine configuration on the Bench C
+// exact-conditional shape. The nocache/workers=1 rows replay the seed
+// algorithm (every closure re-derived per candidate×source) and are
+// the baseline the engine speedup is measured against; the nospec row
+// ablates the speculative candidate batches; the vcache row runs
+// against a pre-warmed cross-run verdict cache, so each op replays the
+// recorded removal sequence instead of re-deciding candidates
+// (vcachehits/op counts the hits). Every configuration produces the
+// identical minimal set. scripts/bench.sh parses this sweep into
+// BENCH_minimize.json. The n=4096 stretch rows only run when
+// DSCW_BENCH_LARGE is set; nocache is capped at n=256 (it would run
+// for hours above that).
 func BenchmarkMinimizeParallel(b *testing.B) {
 	type config struct {
 		name string
 		opts core.MinimizeOptions
 	}
-	workerSweep := []int{1, 2, 4}
-	if mp := runtime.GOMAXPROCS(0); mp != 1 && mp != 2 && mp != 4 {
+	workerSweep := []int{1, 2, 4, 8}
+	if mp := runtime.GOMAXPROCS(0); mp != 1 && mp != 2 && mp != 4 && mp != 8 {
 		workerSweep = append(workerSweep, mp)
 	}
-	for _, n := range []int{64, 256, 1024} {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		if n >= 4096 && os.Getenv("DSCW_BENCH_LARGE") == "" {
+			continue // stretch row: set DSCW_BENCH_LARGE=1
+		}
 		w := workload.Layered(n/4, 4, 0.3, 42).WithShortcuts(n / 4).WithDecisions(2)
 		sc, err := w.Constraints()
 		if err != nil {
@@ -335,12 +343,19 @@ func BenchmarkMinimizeParallel(b *testing.B) {
 			configs = append(configs, config{fmt.Sprintf("cache/workers=%d", workers),
 				core.MinimizeOptions{Parallelism: workers}})
 		}
+		configs = append(configs,
+			config{"nospec/workers=8", core.MinimizeOptions{Parallelism: 8, NoSpeculation: true}},
+			config{"vcache/workers=1", core.MinimizeOptions{Parallelism: 1, VerdictCache: core.NewVerdictCache(0)}})
 		for _, cfg := range configs {
 			b.Run(fmt.Sprintf("activities=%d/%s", n, cfg.name), func(b *testing.B) {
-				if n >= 1024 && os.Getenv("DSCW_BENCH_LARGE") == "" {
-					b.Skip("set DSCW_BENCH_LARGE=1 to run the n=1024 sweep")
+				if cfg.opts.VerdictCache != nil {
+					// Warm the cross-run cache so every timed op is a hit.
+					if _, err := core.MinimizeOpt(context.Background(), sc, cfg.opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-				var pairs, hits float64
+				b.ResetTimer()
+				var pairs, hits, vhits float64
 				for i := 0; i < b.N; i++ {
 					res, err := core.MinimizeOpt(context.Background(), sc, cfg.opts)
 					if err != nil {
@@ -348,9 +363,13 @@ func BenchmarkMinimizeParallel(b *testing.B) {
 					}
 					pairs = float64(res.PairComparisons)
 					hits = float64(res.ClosureCacheHits)
+					if res.VerdictCacheHit {
+						vhits++
+					}
 				}
 				b.ReportMetric(pairs, "pairs/op")
 				b.ReportMetric(hits, "cachehits/op")
+				b.ReportMetric(vhits/float64(b.N), "vcachehits/op")
 			})
 		}
 	}

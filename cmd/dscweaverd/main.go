@@ -29,6 +29,8 @@
 //	                 default soundness-exploration worker count per weave
 //	-concurrency N   weave worker pool size (default GOMAXPROCS)
 //	-queue-wait D    max wait for a pool slot before shedding (default 2s)
+//	-verdict-cache N cross-run minimize verdict cache entries
+//	                 (0 = 256 default, negative disables)
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight weaves finish,
 // then the event log closes.
@@ -55,6 +57,7 @@ func main() {
 	validateParallel := flag.Int("validate-parallel", 0, "default soundness-exploration worker count per weave (0 or 1 = sequential)")
 	concurrency := flag.Int("concurrency", 0, "weave worker pool size (0 = GOMAXPROCS)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for a pool slot before shedding with 429 (0 = 2s default)")
+	verdictCache := flag.Int("verdict-cache", 0, "cross-run minimize verdict cache size in entries (0 = 256 default, negative disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dscweaverd [flags]")
@@ -87,6 +90,9 @@ func main() {
 	}
 	if *queueWait != 0 {
 		cfg.QueueWait = *queueWait
+	}
+	if *verdictCache != 0 {
+		cfg.VerdictCacheSize = *verdictCache
 	}
 
 	s, err := server.New(cfg)

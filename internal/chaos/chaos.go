@@ -185,6 +185,20 @@ func (in *Injector) StageHook() func(ctx context.Context, stage string) error {
 	}
 }
 
+// MinimizeHook returns a core.MinimizeOptions.CandidateHook injecting
+// latency and faults into the minimizer's candidate engine, keyed per
+// constraint — every evaluation attempt of one candidate (sequential,
+// speculative, or a re-evaluation after an invalidation) advances that
+// key's attempt index. Latency spikes land inside speculation windows
+// and skew which worker claims which candidate; fault draws abort the
+// run. Latency-only configs must leave the minimal set bit-identical,
+// which is what the chaos property tests pin.
+func (in *Injector) MinimizeHook() core.CandidateHook {
+	return func(ctx context.Context, c core.Constraint) error {
+		return in.inject(ctx, "minimize/"+c.String())
+	}
+}
+
 // PermanentAttempt reports the first attempt index at which the
 // injector actually returned a permanent fault for key. Tests use it
 // to assert "permanent fault → no attempt past it": whatever retries

@@ -227,7 +227,7 @@ func (pg *pointGraph) guardOf(n Node) cond.Expr {
 // when non-nil, excludes one edge — used by the minimizer to evaluate
 // candidate removals without mutating the graph.
 func (pg *pointGraph) annotatedFrom(src int, skip *[2]int) []cond.Expr {
-	return pg.annotatedFromInto(nil, src, skip, nil)
+	return pg.annotatedFromInto(nil, src, skip, nil, nil)
 }
 
 // sweepCheckInterval is how many frontier expansions a closure sweep
@@ -249,7 +249,18 @@ const sweepCheckInterval = 64
 // immediately. Callers that pass cancel MUST NOT use the result as a
 // closure (or cache it) without re-checking the flag — the minimizer's
 // equivalence checks discard the scan on abort.
-func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, cancel *atomic.Bool) []cond.Expr {
+//
+// A non-nil within bitset restricts the sweep to a cone: only nodes in
+// the mask are expanded and only mask nodes receive annotations. The
+// caller must guarantee the mask is predecessor-closed over the nodes
+// it reads (every predecessor of a mask node that src can reach is
+// itself in the mask — e.g. the union of ancestors of a target set);
+// then the annotations at mask nodes are structurally identical to an
+// unrestricted sweep's, because every contributing edge relaxation runs
+// between mask nodes in the same topo order with the same Simplify
+// sequence. The minimizer uses this to skip the subgraph that cannot
+// influence a candidate's verdict.
+func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, cancel *atomic.Bool, within graph.Bitset) []cond.Expr {
 	var ann []cond.Expr
 	if cap(buf) >= len(pg.points) {
 		ann = buf[:len(pg.points)]
@@ -262,6 +273,9 @@ func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, 
 	ann[src] = cond.True()
 	expanded := 0
 	for _, u := range pg.topo {
+		if within != nil && !within.Has(u) {
+			continue
+		}
 		if ann[u].IsFalse() {
 			continue
 		}
@@ -270,6 +284,9 @@ func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, 
 			return ann // partial — caller re-checks cancel before use
 		}
 		for _, v := range pg.g.Succ(u) {
+			if within != nil && !within.Has(v) {
+				continue
+			}
 			e := [2]int{u, v}
 			if skip != nil && e == *skip {
 				continue
@@ -293,10 +310,11 @@ func (pg *pointGraph) annotatedFromInto(buf []cond.Expr, src int, skip *[2]int, 
 // disjunction (the intermediate Simplify steps can canonicalize the
 // two differently, but the expressions are semantically equal) — the
 // minimizer exploits this to sweep along whichever side of a candidate
-// edge has the smaller frontier. Cancellation mirrors
-// annotatedFromInto: a fired cancel yields a partial result the caller
-// must discard.
-func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int, cancel *atomic.Bool) []cond.Expr {
+// edge has the smaller frontier. Cancellation and the within cone mask
+// mirror annotatedFromInto: a fired cancel yields a partial result the
+// caller must discard, and a non-nil mask must be successor-closed over
+// the nodes read (e.g. the union of descendants of a source set).
+func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int, cancel *atomic.Bool, within graph.Bitset) []cond.Expr {
 	var ann []cond.Expr
 	if cap(buf) >= len(pg.points) {
 		ann = buf[:len(pg.points)]
@@ -310,6 +328,9 @@ func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int, ca
 	expanded := 0
 	for i := len(pg.topo) - 1; i >= 0; i-- {
 		v := pg.topo[i]
+		if within != nil && !within.Has(v) {
+			continue
+		}
 		if ann[v].IsFalse() {
 			continue
 		}
@@ -318,6 +339,9 @@ func (pg *pointGraph) annotatedToInto(buf []cond.Expr, dst int, skip *[2]int, ca
 			return ann // partial — caller re-checks cancel before use
 		}
 		for _, u := range pg.g.Pred(v) {
+			if within != nil && !within.Has(u) {
+				continue
+			}
 			e := [2]int{u, v}
 			if skip != nil && e == *skip {
 				continue

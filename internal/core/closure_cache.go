@@ -32,6 +32,7 @@ type closureCache struct {
 	gen      uint64
 	staleAt  map[int]uint64
 	entries  map[int]closureEntry
+	flight   map[int]*closureFlight
 	disabled bool
 
 	hits   atomic.Int64
@@ -43,15 +44,30 @@ type closureEntry struct {
 	ann []cond.Expr
 }
 
+// closureFlight coalesces concurrent misses on one cold source: the
+// first goroutine to miss becomes the leader and runs the sweep, every
+// other one parks on done and shares the leader's result. Without it N
+// pool workers racing on an uncached source each ran the full annotated
+// sweep, the losers' results were discarded, and ClosureCacheMisses
+// over-reported the sweep count.
+type closureFlight struct {
+	done chan struct{}
+	ann  []cond.Expr // set by the leader before done is closed
+}
+
 func newClosureCache() *closureCache {
 	return &closureCache{
 		staleAt: map[int]uint64{},
 		entries: map[int]closureEntry{},
+		flight:  map[int]*closureFlight{},
 	}
 }
 
 // get returns the cached closure for point p, computing and installing
-// it via compute on a miss. The returned slice is shared: callers must
+// it via compute on a miss. Concurrent misses on the same point are
+// coalesced into one compute (singleflight): followers block until the
+// leader's sweep lands and count as hits, so misses equals the number
+// of sweeps actually run. The returned slice is shared: callers must
 // not mutate it.
 func (c *closureCache) get(p int, compute func() []cond.Expr) []cond.Expr {
 	if c == nil || c.disabled {
@@ -59,20 +75,45 @@ func (c *closureCache) get(p int, compute func() []cond.Expr) []cond.Expr {
 	}
 	c.mu.RLock()
 	e, ok := c.entries[p]
-	gen := c.gen
 	stale := c.staleAt[p]
 	c.mu.RUnlock()
 	if ok && e.gen >= stale {
 		c.hits.Add(1)
 		return e.ann
 	}
+	c.mu.Lock()
+	// Re-check under the write lock: the entry or a flight may have
+	// appeared since the read.
+	if e, ok := c.entries[p]; ok && e.gen >= c.staleAt[p] {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.ann
+	}
+	if f, ok := c.flight[p]; ok {
+		c.mu.Unlock()
+		<-f.done
+		c.hits.Add(1) // coalesced: served by the leader's sweep
+		return f.ann
+	}
+	f := &closureFlight{done: make(chan struct{})}
+	c.flight[p] = f
+	gen := c.gen
+	c.mu.Unlock()
+
 	c.misses.Add(1)
 	ann := compute()
+	f.ann = ann
 	c.mu.Lock()
+	// The generation stamp keeps a leader that started before an
+	// invalidation from installing a stale closure afterwards; followers
+	// of that flight still get the (then-current) result they coalesced
+	// on, exactly as if they had computed it themselves at claim time.
 	if gen >= c.staleAt[p] {
 		c.entries[p] = closureEntry{gen: gen, ann: ann}
 	}
+	delete(c.flight, p)
 	c.mu.Unlock()
+	close(f.done)
 	return ann
 }
 
@@ -87,7 +128,7 @@ func (pg *pointGraph) fullFrom(s int) []cond.Expr {
 // fullFrom it never takes a cancel flag: a partial sweep must never
 // become a cached baseline.
 func (pg *pointGraph) fullTo(t int) []cond.Expr {
-	return pg.cacheTo.get(t, func() []cond.Expr { return pg.annotatedToInto(nil, t, nil, nil) })
+	return pg.cacheTo.get(t, func() []cond.Expr { return pg.annotatedToInto(nil, t, nil, nil, nil) })
 }
 
 // invalidateClosuresThrough marks stale every cached baseline closure

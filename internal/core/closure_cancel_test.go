@@ -60,7 +60,7 @@ func TestClosureSweepAbortsMidSweep(t *testing.T) {
 	// successors get annotated.
 	fired := &atomic.Bool{}
 	fired.Store(true)
-	partial := pg.annotatedFromInto(nil, src, nil, fired)
+	partial := pg.annotatedFromInto(nil, src, nil, fired, nil)
 	partialReached := 0
 	for _, c := range partial {
 		if !c.IsFalse() {
@@ -73,7 +73,7 @@ func TestClosureSweepAbortsMidSweep(t *testing.T) {
 	}
 
 	// Backward mirror.
-	partialBack := pg.annotatedToInto(nil, dst, nil, fired)
+	partialBack := pg.annotatedToInto(nil, dst, nil, fired, nil)
 	backReached := 0
 	for _, c := range partialBack {
 		if !c.IsFalse() {

@@ -53,14 +53,31 @@ type MinimizeResult struct {
 	// optimizer benches. The tally depends on the engine configuration:
 	// with Parallelism > 1 workers cancel early on the first
 	// inequivalent pair and how far the others got is
-	// scheduling-dependent, and with the closure cache the structural
-	// fast paths hit at different points than with freshly recomputed
-	// closures. The verdicts themselves — and hence Minimal, Removed
-	// and EquivalenceChecks — are identical for every configuration.
+	// scheduling-dependent, the closure cache changes where the
+	// structural fast paths hit, and the quick-keep prefilter settles
+	// most kept candidates at a single comparison. The verdicts
+	// themselves — and hence Minimal, Removed and EquivalenceChecks —
+	// are identical for every configuration.
 	PairComparisons int
-	// Workers is the resolved worker-pool size the run used
-	// (MinimizeOptions.Parallelism after the GOMAXPROCS default).
+	// Workers is the maximum worker-pool fan-out the run actually
+	// exercised — not the configured size: a 3-point process checked
+	// with Parallelism=8 reports the couple of workers that ever had an
+	// item to claim. 1 when every check ran inline (and on a verdict
+	// cache hit, which runs no checks at all).
 	Workers int
+	// Respeculated counts candidates whose speculative verdict was
+	// invalidated by an earlier removal committing in the same batch
+	// (affected-pair interference) and had to be re-evaluated against
+	// the updated graph. Zero in sequential and NoSpeculation runs. The
+	// tally is scheduling-independent (invalidation is decided by the
+	// deterministic commit order), but depends on batch geometry and
+	// hence on Parallelism.
+	Respeculated int
+	// VerdictCacheHit reports that the whole run was served by
+	// replaying a recorded removal sequence from
+	// MinimizeOptions.VerdictCache — no equivalence checks ran
+	// (EquivalenceChecks is 0).
+	VerdictCacheHit bool
 	// ClosureCacheHits and ClosureCacheMisses count baseline-closure
 	// lookups served from / computed into the per-source closure
 	// cache. Without the cache every (candidate, source) pair costs a
@@ -125,13 +142,32 @@ type MinimizeOptions struct {
 	// Guards overrides the execution-guard context (nil derives from
 	// the set's control-origin constraints).
 	Guards map[Node]cond.Expr
-	// Parallelism sets the worker-pool size for the per-source
-	// equivalence checks of each candidate removal: 0 means
-	// GOMAXPROCS, 1 runs inline with no goroutines, larger values are
-	// taken literally. The candidate loop itself stays sequential, so
+	// Parallelism sets the worker-pool size of the candidate engine: 0
+	// means GOMAXPROCS, 1 runs inline with no goroutines, larger values
+	// are taken literally. With more than one worker, candidates are
+	// evaluated speculatively in parallel batches and their verdicts
+	// committed strictly in canonical order (see minimize_spec.go), so
 	// the removal order — and therefore the resulting minimal set — is
 	// bit-identical across worker counts.
 	Parallelism int
+	// NoSpeculation disables the speculative candidate engine: with
+	// Parallelism > 1 the candidate loop then stays sequential and only
+	// the per-candidate closure sweeps fan out (the PR-1 engine).
+	// Results are identical; it exists as the scaling baseline and
+	// ablation for the optimizer benches.
+	NoSpeculation bool
+	// VerdictCache, when non-nil, consults (and on a miss, fills) a
+	// cross-run content-addressed cache of removal sequences keyed on
+	// the constraint set, guards, domains and comparison mode. On a hit
+	// the recorded removals are replayed and every Definition 6
+	// equivalence check is skipped; see VerdictCacheHit. A long-lived
+	// server shares one instance across requests.
+	VerdictCache *VerdictCache
+	// CandidateHook, when non-nil, runs before every candidate
+	// evaluation attempt — sequential, speculative, and re-evaluations
+	// after an invalidation alike. A returned error aborts the run with
+	// that error. The chaos suite injects latency and faults here.
+	CandidateHook CandidateHook
 	// NoCache disables the per-source closure cache and the
 	// equivalence memo, restoring the naive re-derivation of every
 	// closure per (candidate, source). It exists as the baseline for
@@ -156,6 +192,10 @@ type MinimizeOptions struct {
 	Events obs.Sink
 }
 
+// CandidateHook observes (and may veto) every candidate evaluation
+// attempt; see MinimizeOptions.CandidateHook.
+type CandidateHook func(ctx context.Context, c Constraint) error
+
 // MinimizeWithGuards is Minimize with an explicit guard context. A nil
 // guards map derives guards from the set itself.
 func MinimizeWithGuards(sc *ConstraintSet, guards map[Node]cond.Expr) (*MinimizeResult, error) {
@@ -163,14 +203,15 @@ func MinimizeWithGuards(sc *ConstraintSet, guards map[Node]cond.Expr) (*Minimize
 }
 
 // MinimizeOpt is Minimize with full options and cooperative
-// cancellation: ctx is checked once per candidate in the outer loop
-// and inside every candidate's closure-sweep worker pool, so a
-// canceled run aborts within one per-source sweep. On cancellation the
-// returned error is a *CancelError carrying the partial progress (the
-// removals applied so far are a prefix of the uncancelled run's
-// deterministic removal sequence). An uncancelled run is bit-identical
-// to Minimize for every engine configuration. A nil ctx behaves as
-// context.Background().
+// cancellation: ctx is checked before every committed verdict and
+// inside every closure-sweep worker pool, so a canceled run aborts
+// within one per-source sweep and a speculative verdict computed from
+// a partial scan can never land as a committed removal. On
+// cancellation the returned error is a *CancelError carrying the
+// partial progress (the removals applied so far are a prefix of the
+// uncancelled run's deterministic removal sequence). An uncancelled
+// run is bit-identical to Minimize for every engine configuration. A
+// nil ctx behaves as context.Background().
 func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (*MinimizeResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -195,7 +236,7 @@ func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (
 	pg.cacheTo.disabled = opts.NoCache
 	pg.memo.disabled = opts.NoCache
 	workers := resolveWorkers(opts.Parallelism)
-	res := &MinimizeResult{Guards: pg.guards, Workers: workers}
+	res := &MinimizeResult{Guards: pg.guards, Workers: 1}
 	emit := func(ev obs.Event) {
 		if opts.Events != nil {
 			ev.Layer = obs.LayerMinimize
@@ -205,10 +246,6 @@ func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (
 	began := time.Now()
 	emit(obs.Event{Kind: obs.EvMinimizeBegin, Detail: sc.Proc.Name, Value: float64(sc.Len())})
 
-	// Iterate over a snapshot of the constraints; work shrinks as
-	// removals land. The paper's algorithm is order-dependent in
-	// general (minimal sets are not unique); insertion order makes
-	// runs deterministic.
 	cancelErr := func(cause error) error {
 		if opts.Metrics != nil {
 			opts.Metrics.Counter("minimize_canceled_total").Inc()
@@ -218,41 +255,93 @@ func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (
 		return &CancelError{Cause: cause, Checked: res.EquivalenceChecks,
 			Removed: len(res.Removed), Elapsed: time.Since(began)}
 	}
-	for _, c := range sc.Constraints() {
+
+	// Collect the candidates up front in canonical (insertion) order.
+	// The paper's algorithm is order-dependent in general (minimal sets
+	// are not unique); insertion order makes runs deterministic. Edge
+	// resolution at collection time matches the sequential loop's
+	// per-iteration one: points are fixed for the run and no two
+	// constraints share an edge, so no candidate's edge can disappear
+	// before its turn.
+	var cands []specCandidate
+	for i, c := range sc.Constraints() {
 		if c.Rel != HappenBefore {
 			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, cancelErr(err)
 		}
 		u := pg.pointID(c.From)
 		v := pg.pointID(c.To)
 		if u < 0 || v < 0 || !pg.g.HasEdge(u, v) {
-			continue // already removed alongside a folded pair
+			continue // folded away during desugaring
 		}
-		res.EquivalenceChecks++
-		checkBegan := time.Now()
-		removable, pairs, err := pg.edgeRedundantN(ctx, u, v, workers)
-		res.PairComparisons += pairs
+		cands = append(cands, specCandidate{idx: i, c: c, u: u, v: v})
+	}
+
+	var vcKey [32]byte
+	replayed := false
+	if opts.VerdictCache != nil {
+		vcKey = verdictCacheKey(sc, pg.guards, pg.doms, opts.StrictAnnotations)
+		if err := ctx.Err(); err != nil {
+			return nil, cancelErr(err)
+		}
+		if removedIdx, ok := opts.VerdictCache.lookup(vcKey); ok {
+			replayed = pg.replayRemovals(cands, removedIdx, res)
+		}
+		if replayed {
+			res.VerdictCacheHit = true
+			opts.VerdictCache.hits.Add(1)
+		} else {
+			opts.VerdictCache.misses.Add(1)
+		}
+		if r := opts.Metrics; r != nil {
+			if replayed {
+				r.Counter("minimize_verdict_cache_hits_total").Inc()
+			} else {
+				r.Counter("minimize_verdict_cache_misses_total").Inc()
+			}
+		}
+	}
+
+	if !replayed {
+		var removedIdx []int
+		commit := func(cand specCandidate, removable bool, pairs int, checkBegan time.Time) {
+			res.EquivalenceChecks++
+			res.PairComparisons += pairs
+			verdict := obs.EvCandidateKept
+			if removable {
+				pg.removeConstraintEdge(cand.u, cand.v)
+				res.Removed = append(res.Removed, cand.c)
+				removedIdx = append(removedIdx, cand.idx)
+				verdict = obs.EvCandidateRemoved
+			}
+			emit(obs.Event{Kind: verdict, Detail: cand.c.String(),
+				Value: float64(pairs), DurNS: int64(time.Since(checkBegan))})
+		}
+
+		var err error
+		if workers > 1 && !opts.NoSpeculation {
+			var effective, respeculated int
+			effective, respeculated, err = pg.runSpeculative(ctx, cands, workers, opts.CandidateHook, commit)
+			if effective > res.Workers {
+				res.Workers = effective
+			}
+			res.Respeculated = respeculated
+		} else {
+			err = pg.runSequential(ctx, cands, workers, opts.CandidateHook, commit, res)
+		}
 		if err != nil {
 			if ErrCanceled(err) {
-				res.EquivalenceChecks-- // the aborted check did not complete
 				return nil, cancelErr(err)
 			}
 			return nil, err
 		}
-		verdict := obs.EvCandidateKept
-		if removable {
-			pg.removeConstraintEdge(u, v)
-			res.Removed = append(res.Removed, c)
-			verdict = obs.EvCandidateRemoved
+		if opts.VerdictCache != nil {
+			opts.VerdictCache.store(vcKey, removedIdx)
 		}
-		emit(obs.Event{Kind: verdict, Detail: c.String(),
-			Value: float64(pairs), DurNS: int64(time.Since(checkBegan))})
+		res.ClosureCacheHits = int(pg.cache.hits.Load() + pg.cacheTo.hits.Load())
+		res.ClosureCacheMisses = int(pg.cache.misses.Load() + pg.cacheTo.misses.Load())
+		res.CondMemoHits = int(pg.memo.hits.Load())
 	}
-	res.ClosureCacheHits = int(pg.cache.hits.Load() + pg.cacheTo.hits.Load())
-	res.ClosureCacheMisses = int(pg.cache.misses.Load() + pg.cacheTo.misses.Load())
-	res.CondMemoHits = int(pg.memo.hits.Load())
+
 	emit(obs.Event{Kind: obs.EvMinimizeEnd, Detail: sc.Proc.Name,
 		Value: float64(len(res.Removed)), DurNS: int64(time.Since(began))})
 	if r := opts.Metrics; r != nil {
@@ -263,7 +352,8 @@ func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (
 		r.Counter("minimize_closure_cache_hits_total").Add(int64(res.ClosureCacheHits))
 		r.Counter("minimize_closure_cache_misses_total").Add(int64(res.ClosureCacheMisses))
 		r.Counter("minimize_memo_hits_total").Add(int64(res.CondMemoHits))
-		r.Gauge("minimize_workers").Set(int64(workers))
+		r.Counter("minimize_respeculated_total").Add(int64(res.Respeculated))
+		r.Gauge("minimize_workers").Set(int64(res.Workers))
 		r.Histogram("minimize_run_seconds", obs.DurationBuckets).ObserveDuration(time.Since(began))
 	}
 
@@ -282,6 +372,62 @@ func MinimizeOpt(ctx context.Context, sc *ConstraintSet, opts MinimizeOptions) (
 	}
 	res.Minimal = minimal
 	return res, nil
+}
+
+// runSequential is the candidate engine with the loop itself kept
+// sequential: one candidate at a time, with only the per-candidate
+// closure sweeps fanned out over workers (the pre-speculation engine,
+// retained as the NoSpeculation ablation and the workers=1 fast path).
+// commit runs once per decided candidate in canonical order.
+func (pg *pointGraph) runSequential(ctx context.Context, cands []specCandidate, workers int, hook CandidateHook, commit func(cand specCandidate, removable bool, pairs int, began time.Time), res *MinimizeResult) error {
+	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if hook != nil {
+			if err := hook(ctx, cand.c); err != nil {
+				return err
+			}
+		}
+		began := time.Now()
+		removable, pairs, used, err := pg.checkFrontier(ctx, pg.frontierOf(cand.u, cand.v), workers)
+		if used > res.Workers {
+			res.Workers = used
+		}
+		if err != nil {
+			return err
+		}
+		commit(cand, removable, pairs, began)
+	}
+	return nil
+}
+
+// replayRemovals applies a verdict-cache removal sequence to the fresh
+// point graph. It validates the whole sequence before touching the
+// graph — every index must name a distinct live candidate edge — and
+// reports false on any mismatch (a hash collision or a cross-version
+// entry), in which case the caller falls back to the full run against
+// an unmodified graph.
+func (pg *pointGraph) replayRemovals(cands []specCandidate, removedIdx []int, res *MinimizeResult) bool {
+	byIdx := make(map[int]specCandidate, len(cands))
+	for _, cand := range cands {
+		byIdx[cand.idx] = cand
+	}
+	seen := make(map[int]bool, len(removedIdx))
+	picked := make([]specCandidate, 0, len(removedIdx))
+	for _, idx := range removedIdx {
+		cand, ok := byIdx[idx]
+		if !ok || seen[idx] || !pg.g.HasEdge(cand.u, cand.v) {
+			return false
+		}
+		seen[idx] = true
+		picked = append(picked, cand)
+	}
+	for _, cand := range picked {
+		pg.removeConstraintEdge(cand.u, cand.v)
+		res.Removed = append(res.Removed, cand.c)
+	}
+	return true
 }
 
 // edgeRedundant tests whether removing edge u→v leaves the set

@@ -143,6 +143,82 @@ func TestMinimizeUncanceledBitIdentical(t *testing.T) {
 	}
 }
 
+// removalRecorder records the committed removal order and cancels the
+// run after n verdicts — a deterministic mid-speculation abort, since
+// verdicts are emitted synchronously from the canonical commit loop.
+type removalRecorder struct {
+	n       int
+	cancel  context.CancelFunc
+	seen    int
+	removed []string
+}
+
+func (s *removalRecorder) Emit(e obs.Event) {
+	switch e.Kind {
+	case obs.EvCandidateRemoved:
+		s.removed = append(s.removed, e.Detail)
+	case obs.EvCandidateKept:
+	default:
+		return
+	}
+	s.seen++
+	if s.seen == s.n {
+		s.cancel()
+	}
+}
+
+// TestMinimizeCancelMidSpeculationPrefix: a cancel landing while
+// speculative batches are in flight must abort at a commit boundary
+// with the removals applied so far an exact prefix of the uncancelled
+// run's deterministic removal sequence — never a verdict from a
+// partial scan, never a removal out of order. Twelve seeded cancel
+// points spread the abort across speculation windows.
+func TestMinimizeCancelMidSpeculationPrefix(t *testing.T) {
+	sc := conditionalWorkload(t, 128)
+	full, err := core.MinimizeOpt(context.Background(), sc, core.MinimizeOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRemoved := make([]string, len(full.Removed))
+	for i, c := range full.Removed {
+		fullRemoved[i] = c.String()
+	}
+	if full.EquivalenceChecks < 13 {
+		t.Fatalf("workload decides only %d candidates — too few cancel points", full.EquivalenceChecks)
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		target := 1 + int(seed*7919)%(full.EquivalenceChecks-1)
+		ctx, cancel := context.WithCancel(context.Background())
+		rec := &removalRecorder{n: target, cancel: cancel}
+		res, err := core.MinimizeOpt(ctx, sc, core.MinimizeOptions{Parallelism: 8, Events: rec})
+		cancel()
+		if res != nil {
+			t.Fatalf("seed %d: canceled run returned a result", seed)
+		}
+		var ce *core.CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("seed %d: err = %v, want *core.CancelError", seed, err)
+		}
+		if ce.Checked < target || ce.Checked >= full.EquivalenceChecks {
+			t.Errorf("seed %d: Checked = %d, want in [%d, %d)", seed, ce.Checked, target, full.EquivalenceChecks)
+		}
+		if ce.Removed != len(rec.removed) {
+			t.Errorf("seed %d: CancelError.Removed = %d, but %d removal events were committed",
+				seed, ce.Removed, len(rec.removed))
+		}
+		if len(rec.removed) > len(fullRemoved) {
+			t.Fatalf("seed %d: canceled run removed %d constraints, full run only %d",
+				seed, len(rec.removed), len(fullRemoved))
+		}
+		for i, got := range rec.removed {
+			if got != fullRemoved[i] {
+				t.Fatalf("seed %d: removal %d = %s, full run's sequence has %s — not a prefix",
+					seed, i, got, fullRemoved[i])
+			}
+		}
+	}
+}
+
 // TestMinimizeCancelNoGoroutineLeak aborts a parallel run mid-flight
 // and checks the worker pool drains: the goroutine count must return
 // to its baseline.

@@ -20,62 +20,260 @@ func resolveWorkers(parallelism int) int {
 	return parallelism
 }
 
-// edgeRedundantN is edgeRedundant with the independent per-endpoint
-// equivalence checks fanned out over a pool of `workers` goroutines.
-// The removal verdict is a conjunction over all (source, target) pairs
-// (every pair's closure annotations must stay equivalent), so the
-// verdict — and therefore the sequence of removals the candidate loop
-// performs — is identical for every worker count; only the wall-clock
-// and the PairComparisons tally (workers cancel early on the first
+// candFrontier is the affected-pair frontier of one candidate removal
+// u→v: the only closure pairs its removal can perturb run from srcSet
+// (points that reach u, plus u) to tgtSet (points reachable from v,
+// plus v) — any path that routes through the edge starts in srcSet and
+// ends in tgtSet. The bitsets double as the speculative-commit
+// interference test (see interferes) and as membership filters for the
+// equivalence sweeps; the slices preserve a deterministic iteration
+// order with u (resp. v) first, so the pair (u, v) — the pair most
+// likely to refute a kept candidate — is compared before any other.
+type candFrontier struct {
+	u, v    int
+	sources []int // u first, then its ancestors in reverse-DFS order
+	srcSet  graph.Bitset
+	targets []int // v first, then its descendants in DFS order
+	tgtSet  graph.Bitset
+}
+
+// frontierOf computes a candidate's affected-pair frontier on the
+// current graph by one reverse DFS from u and one forward DFS from v.
+func (pg *pointGraph) frontierOf(u, v int) *candFrontier {
+	fr := &candFrontier{
+		u: u, v: v,
+		srcSet: graph.NewBitset(len(pg.points)),
+		tgtSet: graph.NewBitset(len(pg.points)),
+	}
+	fr.srcSet.Set(u)
+	fr.sources = append(fr.sources, u)
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pg.g.Pred(x) {
+			if !fr.srcSet.Has(p) {
+				fr.srcSet.Set(p)
+				fr.sources = append(fr.sources, p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	fr.tgtSet.Set(v)
+	fr.targets = append(fr.targets, v)
+	stack = append(stack[:0], v)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range pg.g.Succ(x) {
+			if !fr.tgtSet.Has(y) {
+				fr.tgtSet.Set(y)
+				fr.targets = append(fr.targets, y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	return fr
+}
+
+// interferes reports whether a committed removal with frontier other
+// can change this candidate's verdict. A removal of e₁ = (u₁, v₁)
+// structurally changes only closures from srcSet₁ to tgtSet₁ (every
+// path through e₁ starts in the former and ends in the latter), and
+// this candidate's verdict reads only closure values from its own
+// srcSet at its own tgtSet — so the verdict is invariant unless both
+// source sets and both target sets intersect. Frontiers taken on an
+// older graph are supersets of the current ones (removals only shrink
+// reachability), so testing snapshot frontiers is conservative: it can
+// force a redundant re-evaluation, never miss a real dependency.
+func (fr *candFrontier) interferes(other *candFrontier) bool {
+	return fr.srcSet.Intersects(other.srcSet) && fr.tgtSet.Intersects(other.tgtSet)
+}
+
+// pairMask returns the cone a skip sweep from u needs to decide the
+// single pair (u, v): the ancestors of v plus v itself. The set is
+// predecessor-closed (a predecessor of an ancestor of v is an ancestor
+// of v), which annotatedFromInto requires for the restricted sweep to
+// stay structurally identical at v; intersected with the sweep's own
+// reach from u it confines the walk to the between-cone
+// desc(u) ∩ anc(v).
+func (pg *pointGraph) pairMask(v int) graph.Bitset {
+	mask := graph.NewBitset(len(pg.points))
+	mask.Set(v)
+	stack := []int{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pg.g.Pred(x) {
+			if !mask.Has(p) {
+				mask.Set(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return mask
+}
+
+// forwardMask returns the cone a forward skip sweep may visit: the
+// union over the candidate's targets of their ancestors, plus the
+// targets themselves. The mask is predecessor-closed over the nodes the
+// verdict reads (a predecessor of an ancestor of t is an ancestor of
+// t), which annotatedFromInto requires for the restricted sweep to stay
+// structurally identical at every target.
+func (pg *pointGraph) forwardMask(fr *candFrontier) graph.Bitset {
+	mask := fr.tgtSet.Clone()
+	stack := append([]int(nil), fr.targets...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pg.g.Pred(x) {
+			if !mask.Has(p) {
+				mask.Set(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return mask
+}
+
+// backwardMask is forwardMask mirrored for backward sweeps: the union
+// over the candidate's sources of their descendants, plus the sources.
+func (pg *pointGraph) backwardMask(fr *candFrontier) graph.Bitset {
+	mask := fr.srcSet.Clone()
+	stack := append([]int(nil), fr.sources...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range pg.g.Succ(x) {
+			if !mask.Has(y) {
+				mask.Set(y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	return mask
+}
+
+// checkFrontier decides one candidate removal — Definition 6's
+// transitive-equivalence test over the candidate's affected-pair
+// frontier — and returns (removable, pairComparisons, workersUsed,
+// error). The removal verdict is a conjunction over all (source,
+// target) frontier pairs (every pair's closure annotations must stay
+// equivalent in guard context), so the verdict — and therefore the
+// removal sequence the candidate loop performs — is identical for every
+// worker count and engine configuration; only the wall-clock and the
+// PairComparisons tally (workers cancel early on the first
 // inequivalent pair, and who gets how far is scheduling-dependent)
 // vary.
+//
+// The engine decides nearly every candidate from the single pair
+// (u, v) — one skip sweep from u confined to the between-cone — via the
+// transitivity of the annotated closure (gated off under NoCache, which
+// stays the paper-faithful naive baseline). In a DAG a path uses the
+// edge at most once, so for every frontier pair
+//
+//	full(s,t) = without(s,t) ∨ (without(s,u) ∧ cond(u,v) ∧ without(v,t))
+//
+// and path concatenation gives without(s,t) ⊒ without(s,m) ∧
+// without(m,t) for any midpoint m. Therefore:
+//
+//   - if cond(u,v) ⊑ without(u,v) absolutely, the through-edge term of
+//     every pair is absorbed (chain u, then v, as midpoints), so every
+//     pair is absolutely — hence also in guard context — equivalent:
+//     REMOVE, exactly as the full scan would conclude.
+//   - if the pair (u, v) itself is inequivalent in its own guard
+//     context, the full scan refutes at that very pair (it is compared
+//     first): KEEP.
+//   - only the middle case — equivalent in guard context but not
+//     absolutely — falls back to the full frontier scan, because
+//     guard-context-only coverage at (u, v) does not propagate through
+//     other pairs' contexts. In the strict ablation guard context is
+//     True, the first two cases are exhaustive and no fallback exists.
+//
+// The quick-keep special case (no alternate u⇒v path) falls out for
+// free: without(u,v) is False, so a non-vacuous edge refutes at cost of
+// a near-empty sweep. Fallback skip sweeps are confined to the nodes
+// that can lie on a path into the target cone
+// (forwardMask/backwardMask); annotations at the compared pairs are
+// structurally identical to an unrestricted sweep's, so verdicts and
+// per-scan tallies are unchanged while the sweep skips the untouched
+// subgraph.
 //
 // The closure pair for (s, t) can be derived by sweeping forward from
 // s or backward from t over the reverse graph — the same disjunction
 // over paths either way — so the check walks whichever frontier is
-// smaller: one sweep per source when the candidate has few ancestors,
-// one sweep per target when it has few descendants. The seed-faithful
-// NoCache baseline and the strict-annotations ablation always sweep
-// forward, like the paper's algorithm.
+// smaller. The NoCache baseline and the strict-annotations ablation
+// always sweep forward, like the paper's algorithm.
 //
 // Cancellation: ctx aborts the check between items (sequential path)
 // or through the pool's shared early-cancel flag (parallel path, via
 // context.AfterFunc, so workers pay no per-item ctx lookup). A
 // context-aborted check returns ctx.Err() — never a verdict computed
 // from an incomplete scan.
-func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bool, int, error) {
-	skip := [2]int{u, v}
+func (pg *pointGraph) checkFrontier(ctx context.Context, fr *candFrontier, workers int) (bool, int, int, error) {
+	skip := [2]int{fr.u, fr.v}
 
-	// Points that reach u, found on the reverse graph by DFS, plus u.
-	sources := pg.ancestorsOf(u)
-	sources = append(sources, u)
+	// An already-aborted context never yields a verdict — not even the
+	// local pair test's.
+	if err := ctx.Err(); err != nil {
+		return false, 0, 1, err
+	}
 
-	// Points reachable from v, plus v itself.
-	targetSet := graph.NewBitset(len(pg.points))
-	targetSet.Set(v)
-	targets := []int{v}
-	stack := []int{v}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, y := range pg.g.Succ(x) {
-			if !targetSet.Has(y) {
-				targetSet.Set(y)
-				targets = append(targets, y)
-				stack = append(stack, y)
-			}
+	if !pg.cache.disabled {
+		// Local pair test: one skip sweep from u restricted to anc(v)∪{v},
+		// read at v. The cached baseline closure is deliberately not used
+		// here: prior guard-mode removals preserve closures only in guard
+		// context, while the absolute test needs the current graph's exact
+		// full(u,v) — which is just without(u,v) ∨ cond(u,v).
+		var cancelFlag atomic.Bool
+		stop := context.AfterFunc(ctx, func() { cancelFlag.Store(true) })
+		without := pg.annotatedFromInto(nil, fr.u, &skip, &cancelFlag, pg.pairMask(fr.v))
+		stop()
+		if err := ctx.Err(); err != nil {
+			// The sweep may have aborted mid-scan; its result is not a
+			// closure and must not yield a verdict.
+			return false, 0, 1, err
+		}
+		full := cond.Or(without[fr.v], pg.conds[skip])
+		eqAbs, err := pg.equalCond(full, without[fr.v])
+		if err != nil {
+			return false, 1, 1, err
+		}
+		if eqAbs {
+			return true, 1, 1, nil
+		}
+		if pg.strict {
+			return false, 1, 1, nil
+		}
+		g := cond.And(pg.guardOf(pg.points[fr.u].Node), pg.guardOf(pg.points[fr.v].Node))
+		eqCtx, err := pg.equalCond(cond.And(full, g), cond.And(without[fr.v], g))
+		if err != nil {
+			return false, 1, 1, err
+		}
+		if !eqCtx {
+			return false, 1, 1, nil // the pair (u, v) itself refutes
+		}
+		// Middle case: covered in guard context only — decide by the full
+		// frontier scan below.
+	}
+
+	backward := !pg.strict && !pg.cache.disabled && len(fr.targets) < len(fr.sources)
+	var within graph.Bitset
+	if !pg.cache.disabled {
+		if backward {
+			within = pg.backwardMask(fr)
+		} else {
+			within = pg.forwardMask(fr)
 		}
 	}
-
-	backward := !pg.strict && !pg.cache.disabled && len(targets) < len(sources)
-	items := sources
+	items := fr.sources
 	check := func(item int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
-		return pg.sourceEquivalent(item, skip, targetSet, scratch, cancel)
+		return pg.sourceEquivalent(item, skip, fr.targets, within, scratch, cancel)
 	}
 	if backward {
-		items = targets
+		items = fr.targets
 		check = func(item int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
-			return pg.targetEquivalent(item, skip, sources, scratch, cancel)
+			return pg.targetEquivalent(item, skip, fr.sources, within, scratch, cancel)
 		}
 	}
 
@@ -92,24 +290,24 @@ func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bo
 		var scratch []cond.Expr
 		for _, it := range items {
 			if err := ctx.Err(); err != nil {
-				return false, pairs, err
+				return false, pairs, 1, err
 			}
 			ok, p, buf, err := check(it, scratch, &cancel)
 			scratch = buf
 			pairs += p
 			if err != nil || !ok {
 				if cerr := ctx.Err(); cerr != nil {
-					return false, pairs, cerr
+					return false, pairs, 1, cerr
 				}
-				return false, pairs, err
+				return false, pairs, 1, err
 			}
 		}
 		// An abort during the final item's sweep yields a vacuous "ok"
 		// from a partial scan; the ctx error must win over that verdict.
 		if err := ctx.Err(); err != nil {
-			return false, pairs, err
+			return false, pairs, 1, err
 		}
-		return true, pairs, nil
+		return true, pairs, 1, nil
 	}
 
 	var (
@@ -158,31 +356,39 @@ func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bo
 	// trustworthy. The ctx error wins over a worker error, which may
 	// itself be a casualty of the abort.
 	if err := ctx.Err(); err != nil {
-		return false, int(pairs.Load()), err
+		return false, int(pairs.Load()), workers, err
 	}
 	if firstErr != nil {
-		return false, int(pairs.Load()), firstErr
+		return false, int(pairs.Load()), workers, firstErr
 	}
-	return !inequiv.Load(), int(pairs.Load()), nil
+	return !inequiv.Load(), int(pairs.Load()), workers, nil
+}
+
+// edgeRedundantN is the frontier-oblivious entry point retained for the
+// Adapter's incremental checks: compute the candidate's frontier on the
+// current graph, then run the full equivalence check over it.
+func (pg *pointGraph) edgeRedundantN(ctx context.Context, u, v, workers int) (bool, int, error) {
+	removable, pairs, _, err := pg.checkFrontier(ctx, pg.frontierOf(u, v), workers)
+	return removable, pairs, err
 }
 
 // sourceEquivalent checks one source's contribution to a candidate
 // removal: whether the closures from s with and without the skipped
 // edge agree on every target, compared in guard context. The baseline
 // closure comes from the closure cache; the skip closure is recomputed
-// into scratch, which is returned for reuse by the caller's next
-// source. A non-nil cancel is polled between targets so workers stop
-// promptly once a sibling has refuted the candidate (the early return
-// reports equivalent=true, which the cancelling caller ignores).
-func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targetSet graph.Bitset, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+// into scratch — restricted to the within cone when non-nil — and
+// scratch is returned for reuse by the caller's next source. A non-nil
+// cancel is polled between targets so workers stop promptly once a
+// sibling has refuted the candidate (the early return reports
+// equivalent=true, which the cancelling caller ignores). Targets are
+// compared in frontier order, v first, so a kept candidate is usually
+// refuted by its own pair before any other comparison runs.
+func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targets []int, within graph.Bitset, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
 	full := pg.fullFrom(s)
-	without := pg.annotatedFromInto(scratch, s, &skip, cancel)
+	without := pg.annotatedFromInto(scratch, s, &skip, cancel, within)
 	gs := pg.guardOf(pg.points[s].Node)
 	pairs := 0
-	for t := range pg.points {
-		if !targetSet.Has(t) {
-			continue
-		}
+	for _, t := range targets {
 		if cancel != nil && cancel.Load() {
 			return true, pairs, without, nil
 		}
@@ -216,10 +422,10 @@ func (pg *pointGraph) sourceEquivalent(s int, skip [2]int, targetSet graph.Bitse
 // ann_t[s] computed backward are the same disjunction over the paths
 // s⇒t, so the verdict is identical to the forward direction's; only
 // the intermediate Simplify steps (and hence the structural fast-path
-// hit rate) differ.
-func (pg *pointGraph) targetEquivalent(t int, skip [2]int, sources []int, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
+// hit rate) differ. Sources are compared in frontier order, u first.
+func (pg *pointGraph) targetEquivalent(t int, skip [2]int, sources []int, within graph.Bitset, scratch []cond.Expr, cancel *atomic.Bool) (bool, int, []cond.Expr, error) {
 	full := pg.fullTo(t)
-	without := pg.annotatedToInto(scratch, t, &skip, cancel)
+	without := pg.annotatedToInto(scratch, t, &skip, cancel, within)
 	gt := pg.guardOf(pg.points[t].Node)
 	pairs := 0
 	for _, s := range sources {

@@ -71,8 +71,13 @@ func TestMinimizeParallelMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if ref.ClosureCacheHits == 0 {
-				t.Error("reference run: closure cache never hit")
+			// The local pair test settles most candidates from a single
+			// sweep without consulting the closure cache, so cache hits
+			// are no longer guaranteed; the condition-equality memo is
+			// exercised by every covering test and must be warm from
+			// n=64 up.
+			if n >= 64 && ref.CondMemoHits == 0 {
+				t.Error("reference run: condition-equality memo never hit")
 			}
 			variants := []struct {
 				name string

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// specBatchFactor scales the speculation window: each round considers
+// the next workers×specBatchFactor candidates, speculatively evaluates
+// the provably independent ones among them concurrently against the
+// frozen graph, and commits every verdict in canonical order. A larger
+// window finds more independent candidates on sparse graphs but makes
+// the greedy O(window²) interference scan and the frontier precompute
+// proportionally larger; 4 gives every worker a queue without
+// measurable selection overhead.
+const specBatchFactor = 4
+
+// specCandidate is one HappenBefore constraint in the canonical
+// (insertion) candidate order, with its edge resolved up front: points
+// never change during a run and no two constraints share an edge
+// (buildPointGraph rejects duplicates), so the resolution done at
+// collection time is identical to the sequential loop's per-iteration
+// one.
+type specCandidate struct {
+	idx  int // position in sc.Constraints(), the verdict-cache value
+	c    Constraint
+	u, v int
+}
+
+// specState carries one candidate through a speculation window.
+type specState struct {
+	fr        *candFrontier
+	member    bool // selected for speculative evaluation
+	removable bool
+	pairs     int
+	began     time.Time
+	err       error
+}
+
+// runSpeculative is the coarse-grained parallel candidate engine:
+// per window of workers×specBatchFactor candidates it
+//
+//  1. computes every candidate's affected-pair frontier on the current
+//     graph (one reverse + one forward bitset DFS each),
+//  2. selects the speculation set greedily in canonical order — a
+//     candidate joins when its frontier interferes with NO earlier
+//     window candidate's (members and non-members alike), so no removal
+//     that can land before its commit slot is able to change its
+//     verdict,
+//  3. evaluates the selected candidates concurrently against the frozen
+//     graph (workers claim candidates off a shared index; the graph is
+//     only read during this phase, and the closure caches are
+//     internally synchronized),
+//  4. commits all verdicts strictly in canonical order: selected
+//     candidates land their precomputed verdict — after an interference
+//     re-check against the removals committed earlier in the window,
+//     which by construction of step 2 cannot fire and exists as a
+//     safety net — while unselected candidates (the ones an earlier
+//     potential removal could invalidate) are evaluated inline at their
+//     commit slot against the now-current graph with the full
+//     per-candidate sweep pool.
+//
+// Selecting for independence up front instead of speculating everything
+// and invalidating afterwards matters on dense graphs: when most
+// candidates' ancestor×descendant cones overlap (the layered
+// workloads), blind speculation evaluates nearly every candidate twice,
+// while the greedy set degrades gracefully to the sequential engine
+// with only the (cheap) frontier precompute as overhead.
+//
+// Inline evaluations reuse the frontier computed in step 1 even though
+// removals may have landed since: a stale frontier is a superset of the
+// current one (removals only shrink reachability), and every extra
+// (source, target) pair it adds to the comparison is provably
+// equivalent — a source that no longer reaches u never routes through
+// the candidate edge, and a target no longer reachable from v cannot be
+// reached through it — so the verdict on the current graph is exact and
+// only the PairComparisons tally (documented as configuration-
+// dependent) can differ.
+//
+// Minimal, Removed and the removal order are therefore bit-identical to
+// the sequential run for every worker count.
+//
+// Cancellation: ctx aborts are observed before every commit (so the
+// committed removals are always a prefix of the uncancelled run's
+// sequence and no partial-scan verdict can land — checkFrontier poisons
+// those with the ctx error) and by the evaluation workers through the
+// shared cancel flag. commit is called exactly once per decided
+// candidate, in canonical order, and performs the removal, counters and
+// event emission; hook (when non-nil) runs before every evaluation
+// attempt.
+//
+// Returns the maximum worker fan-out actually exercised, the number of
+// candidates that could not be speculated (plus any safety-net
+// re-evaluations), and the first error in canonical order.
+func (pg *pointGraph) runSpeculative(
+	ctx context.Context,
+	cands []specCandidate,
+	workers int,
+	hook CandidateHook,
+	commit func(cand specCandidate, removable bool, pairs int, began time.Time),
+) (effective, respeculated int, err error) {
+	effective = 1
+	window := workers * specBatchFactor
+	var cancel atomic.Bool
+	stop := context.AfterFunc(ctx, func() { cancel.Store(true) })
+	defer stop()
+
+	states := make([]specState, window)
+	for pos := 0; pos < len(cands); pos += window {
+		end := pos + window
+		if end > len(cands) {
+			end = len(cands)
+		}
+		items := cands[pos:end]
+		sts := states[:len(items)]
+		for i := range sts {
+			sts[i] = specState{}
+		}
+
+		// Frontiers on the current graph, then the greedy independent
+		// speculation set. members holds indices into items.
+		var members []int
+		for i := range items {
+			sts[i].fr = pg.frontierOf(items[i].u, items[i].v)
+			independent := true
+			for j := 0; j < i; j++ {
+				if sts[i].fr.interferes(sts[j].fr) {
+					independent = false
+					break
+				}
+			}
+			if independent {
+				sts[i].member = true
+				members = append(members, i)
+			}
+		}
+
+		// Speculative evaluation of the members. With fewer than two
+		// there is nothing to overlap: fall through and evaluate at the
+		// commit slot with the full per-candidate pool instead.
+		if len(members) >= 2 {
+			n := workers
+			if n > len(members) {
+				n = len(members)
+			}
+			if n > effective {
+				effective = n
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						k := int(next.Add(1)) - 1
+						if k >= len(members) || cancel.Load() {
+							return
+						}
+						st := &sts[members[k]]
+						st.began = time.Now()
+						if hook != nil {
+							if herr := hook(ctx, items[members[k]].c); herr != nil {
+								st.err = herr
+								continue
+							}
+						}
+						st.removable, st.pairs, _, st.err = pg.checkFrontier(ctx, st.fr, 1)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for _, i := range members {
+				sts[i].member = false
+			}
+			members = members[:0]
+		}
+
+		// Ordered commit. committed collects the frontiers of this
+		// window's landed removals; prior windows' removals are already
+		// reflected in the graph every frontier above saw.
+		var committed []*candFrontier
+		for i := range items {
+			if cerr := ctx.Err(); cerr != nil {
+				return effective, respeculated, cerr
+			}
+			st := &sts[i]
+			if st.member && st.err != nil {
+				if ErrCanceled(st.err) {
+					// A casualty of the context abort; report the abort,
+					// not the per-candidate symptom.
+					if cerr := ctx.Err(); cerr != nil {
+						return effective, respeculated, cerr
+					}
+				}
+				return effective, respeculated, st.err
+			}
+			evaluated := st.member && !st.began.IsZero()
+			if evaluated {
+				// Safety net: by construction no removal committed in
+				// this window interferes with a member, but verify
+				// before letting a speculative verdict land.
+				for _, cf := range committed {
+					if st.fr.interferes(cf) {
+						evaluated = false
+						respeculated++
+						break
+					}
+				}
+			} else if st.member {
+				// The eval workers stopped claiming after the shared
+				// cancel flag fired; the flag is only ever set by the
+				// ctx AfterFunc, and the ctx check above catches that on
+				// the next pass. Evaluate inline if somehow still live.
+				evaluated = false
+			}
+			if !evaluated {
+				if !st.member {
+					respeculated++
+				}
+				if hook != nil {
+					if herr := hook(ctx, items[i].c); herr != nil {
+						return effective, respeculated, herr
+					}
+				}
+				st.began = time.Now()
+				removable, pairs, used, rerr := pg.checkFrontier(ctx, st.fr, workers)
+				if used > effective {
+					effective = used
+				}
+				if rerr != nil {
+					return effective, respeculated, rerr
+				}
+				st.removable, st.pairs = removable, pairs
+			}
+			commit(items[i], st.removable, st.pairs, st.began)
+			if st.removable {
+				committed = append(committed, st.fr)
+			}
+		}
+	}
+	return effective, respeculated, nil
+}

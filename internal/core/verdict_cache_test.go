@@ -1,0 +1,122 @@
+// Tests for the cross-run verdict cache: a hit replays the recorded
+// removal sequence bit-identically and skips every equivalence check,
+// the content key separates problems that differ in guards or
+// comparison mode, eviction is oldest-first, and the obs counters
+// mirror the cache's own accounting.
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"dscweaver/internal/cond"
+	"dscweaver/internal/core"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/purchasing"
+)
+
+func TestVerdictCacheHitBitIdentical(t *testing.T) {
+	_, asc, _, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := core.NewVerdictCache(0)
+	reg := obs.NewRegistry()
+	cold, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{VerdictCache: vc, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.VerdictCacheHit {
+		t.Fatal("first run reported a verdict cache hit")
+	}
+	warm, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{VerdictCache: vc, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.VerdictCacheHit {
+		t.Fatal("second run missed the verdict cache")
+	}
+	if warm.EquivalenceChecks != 0 {
+		t.Errorf("replayed run performed %d equivalence checks, want 0", warm.EquivalenceChecks)
+	}
+	if warm.Minimal.String() != cold.Minimal.String() {
+		t.Errorf("replayed minimal set differs:\ncold:\n%s\nwarm:\n%s", cold.Minimal, warm.Minimal)
+	}
+	if removedString(warm) != removedString(cold) {
+		t.Errorf("replayed removal order differs:\ncold:\n%s\nwarm:\n%s", removedString(cold), removedString(warm))
+	}
+	if vc.Hits() != 1 || vc.Misses() != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", vc.Hits(), vc.Misses())
+	}
+	if got := reg.Counter("minimize_verdict_cache_hits_total").Value(); got != 1 {
+		t.Errorf("minimize_verdict_cache_hits_total = %d, want 1", got)
+	}
+	if got := reg.Counter("minimize_verdict_cache_misses_total").Value(); got != 1 {
+		t.Errorf("minimize_verdict_cache_misses_total = %d, want 1", got)
+	}
+}
+
+// TestVerdictCacheKeySensitivity: anything a verdict depends on is part
+// of the key — the comparison mode and the guard context must not share
+// entries with the default run.
+func TestVerdictCacheKeySensitivity(t *testing.T) {
+	_, asc, _, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := core.NewVerdictCache(0)
+	if _, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{VerdictCache: vc}); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{VerdictCache: vc, StrictAnnotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.VerdictCacheHit {
+		t.Error("StrictAnnotations run replayed the guard-context entry")
+	}
+	guards := map[core.Node]cond.Expr{
+		core.ActivityNode("recClient_po"): cond.Lit("if_au", "T"),
+	}
+	guarded, err := core.MinimizeOpt(context.Background(), asc, core.MinimizeOptions{VerdictCache: vc, Guards: guards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.VerdictCacheHit {
+		t.Error("run with an overridden guard context replayed the default entry")
+	}
+	if vc.Misses() != 3 || vc.Hits() != 0 {
+		t.Errorf("cache hits/misses = %d/%d, want 0/3", vc.Hits(), vc.Misses())
+	}
+	if vc.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3 distinct keys", vc.Len())
+	}
+}
+
+// TestVerdictCacheEviction: capacity bounds entries oldest-first, so a
+// one-entry cache alternating between two problems never hits.
+func TestVerdictCacheEviction(t *testing.T) {
+	a := conditionalWorkload(t, 16)
+	_, b, _, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := core.NewVerdictCache(1)
+	for i := 0; i < 2; i++ {
+		for _, sc := range []*core.ConstraintSet{a, b} {
+			res, err := core.MinimizeOpt(context.Background(), sc, core.MinimizeOptions{VerdictCache: vc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.VerdictCacheHit {
+				t.Error("hit on a one-entry cache under an alternating working set")
+			}
+		}
+	}
+	if vc.Len() != 1 {
+		t.Errorf("cache holds %d entries, capacity is 1", vc.Len())
+	}
+	if vc.Misses() != 4 || vc.Hits() != 0 {
+		t.Errorf("cache hits/misses = %d/%d, want 0/4", vc.Hits(), vc.Misses())
+	}
+}

@@ -26,8 +26,11 @@ import (
 // (the expensive condition-annotated closure), and transitively
 // redundant cooperation shortcuts for the minimizer to chew through.
 // The shape mirrors workload.Layered(...).WithShortcuts(...).With-
-// Decisions(2), which the minimizer benches sized: ~256 activities
-// take seconds, and the tests cancel long before completion.
+// Decisions(2). The tests submit it via slowWeaveRequest, which pins
+// the paper-naive engine (no_cache): ~256 activities take seconds
+// there, and the tests cancel long before completion. (The default
+// engine's local pair test finishes the same fixture in milliseconds,
+// far too fast to observe a running weave.)
 func slowSource(layers, width int) string {
 	var b strings.Builder
 	name := func(l, i int) string { return fmt.Sprintf("a_%d_%d", l, i) }
@@ -124,6 +127,13 @@ func slowSource(layers, width int) string {
 	return b.String()
 }
 
+// slowWeaveRequest wraps slowSource in a request that runs the naive
+// minimizer engine, restoring the multi-second minimize these tests
+// cancel into.
+func slowWeaveRequest() server.WeaveRequest {
+	return server.WeaveRequest{Source: slowSource(64, 4), NoCache: true}
+}
+
 // waitForRunningWeave polls the run store until a weave run is live,
 // then gives the pipeline a beat to get past the cheap stages and into
 // the minimizer (parse through translate are sub-millisecond at these
@@ -167,7 +177,7 @@ func TestWeaveClientDisconnectFreesSlot(t *testing.T) {
 	defer ts.Close()
 	defer s.Shutdown()
 
-	body, err := json.Marshal(server.WeaveRequest{Source: slowSource(64, 4)})
+	body, err := json.Marshal(slowWeaveRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +240,7 @@ func TestShutdownAbortsStuckWeave(t *testing.T) {
 	}
 	resc := make(chan result, 1)
 	go func() {
-		code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: slowSource(64, 4)}, nil)
+		code, raw := postJSON(t, ts.URL+"/v1/weave", slowWeaveRequest(), nil)
 		resc <- result{code, raw}
 	}()
 	waitForRunningWeave(t, ts.URL)

@@ -25,7 +25,7 @@ import (
 // aborting the weave and freeing the slot.
 func occupyPool(t *testing.T, ts *httptest.Server) (cancel func()) {
 	t.Helper()
-	body, err := json.Marshal(server.WeaveRequest{Source: slowSource(64, 4)})
+	body, err := json.Marshal(slowWeaveRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,8 @@ func TestLoadConfigHardeningKnobs(t *testing.T) {
 		"read_timeout": "9s",
 		"write_timeout": "11s",
 		"idle_timeout": "45s",
-		"max_header_bytes": 1234
+		"max_header_bytes": 1234,
+		"verdict_cache_size": 17
 	}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,91 @@ func TestLoadConfigHardeningKnobs(t *testing.T) {
 	}
 	if cfg.QueueWait != 3*time.Second || cfg.ReadTimeout != 9*time.Second ||
 		cfg.WriteTimeout != 11*time.Second || cfg.IdleTimeout != 45*time.Second ||
-		cfg.MaxHeaderBytes != 1234 {
+		cfg.MaxHeaderBytes != 1234 || cfg.VerdictCacheSize != 17 {
 		t.Errorf("LoadConfig = %+v, want the hardening knobs parsed", cfg)
+	}
+}
+
+// TestWeaveVerdictCacheAcrossRequests: the server shares one verdict
+// cache across requests — the second weave of the same source replays
+// the recorded removal sequence (identical response, verdict_cache_hit
+// set, the obs counters moving), and a no_cache request bypasses the
+// shared cache entirely.
+func TestWeaveVerdictCacheAcrossRequests(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown()
+
+	src := purchasingSource(t)
+	var cold, warm server.WeaveResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &cold); code != http.StatusOK {
+		t.Fatalf("cold weave: %d %s", code, raw)
+	}
+	if cold.VerdictCacheHit {
+		t.Error("first weave of the source reported verdict_cache_hit")
+	}
+	if code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &warm); code != http.StatusOK {
+		t.Fatalf("warm weave: %d %s", code, raw)
+	}
+	if !warm.VerdictCacheHit {
+		t.Error("repeat weave of the same source missed the verdict cache")
+	}
+	if warm.EquivalenceChecks != 0 {
+		t.Errorf("replayed weave reports %d equivalence checks, want 0", warm.EquivalenceChecks)
+	}
+	if warm.MinimalConstraints != cold.MinimalConstraints || warm.Removed != cold.Removed ||
+		strings.Join(warm.Minimal, "\n") != strings.Join(cold.Minimal, "\n") {
+		t.Errorf("replayed weave differs from the cold one:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	if got := s.Registry().Counter("minimize_verdict_cache_hits_total").Value(); got != 1 {
+		t.Errorf("minimize_verdict_cache_hits_total = %d, want 1", got)
+	}
+	if got := s.Registry().Counter("minimize_verdict_cache_misses_total").Value(); got != 1 {
+		t.Errorf("minimize_verdict_cache_misses_total = %d, want 1", got)
+	}
+
+	// no_cache opts out of the shared cache: no hit, no counter movement.
+	var naive server.WeaveResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src, NoCache: true}, &naive); code != http.StatusOK {
+		t.Fatalf("no_cache weave: %d %s", code, raw)
+	}
+	if naive.VerdictCacheHit {
+		t.Error("no_cache weave reported verdict_cache_hit")
+	}
+	if naive.MinimalConstraints != cold.MinimalConstraints || naive.Removed != cold.Removed {
+		t.Errorf("no_cache weave outcome differs: %+v vs %+v", naive, cold)
+	}
+	if got := s.Registry().Counter("minimize_verdict_cache_hits_total").Value(); got != 1 {
+		t.Errorf("after no_cache weave, hits counter = %d, want still 1", got)
+	}
+}
+
+// TestWeaveVerdictCacheDisabled: a negative verdict_cache_size turns
+// the shared cache off — repeat weaves re-run Def. 6 work.
+func TestWeaveVerdictCacheDisabled(t *testing.T) {
+	s, err := server.New(server.Config{VerdictCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown()
+
+	src := purchasingSource(t)
+	for i := 0; i < 2; i++ {
+		var wv server.WeaveResponse
+		if code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &wv); code != http.StatusOK {
+			t.Fatalf("weave %d: %d %s", i, code, raw)
+		}
+		if wv.VerdictCacheHit {
+			t.Errorf("weave %d hit a disabled verdict cache", i)
+		}
+		if wv.EquivalenceChecks == 0 {
+			t.Errorf("weave %d ran no equivalence checks with the cache disabled", i)
+		}
 	}
 }

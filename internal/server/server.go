@@ -53,6 +53,12 @@ type Config struct {
 	// WeaveConcurrency bounds concurrently running weave/simulate
 	// requests — the worker pool (default GOMAXPROCS).
 	WeaveConcurrency int
+	// VerdictCacheSize caps the server-wide cross-run minimize verdict
+	// cache: repeated weaves of an already-decided constraint set replay
+	// the recorded removal sequence instead of re-running Definition 6.
+	// 0 takes the core default (256 entries); negative disables the
+	// cache.
+	VerdictCacheSize int
 	// ValidateParallel is the default worker count for the validate
 	// stage's parallel frontier exploration (0 or 1 = sequential,
 	// which is right for most nets: the packed kernel clears them in
@@ -134,6 +140,7 @@ type fileConfig struct {
 	ShutdownGrace    string               `json:"shutdown_grace"`
 	WeaveParallelism int                  `json:"weave_parallelism"`
 	WeaveConcurrency int                  `json:"weave_concurrency"`
+	VerdictCacheSize int                  `json:"verdict_cache_size"`
 	ValidateParallel int                  `json:"validate_parallel"`
 	QueueWait        string               `json:"queue_wait"`
 	ReadTimeout      string               `json:"read_timeout"`
@@ -166,6 +173,7 @@ func LoadConfig(path string) (Config, error) {
 		MaxBodyBytes:     fc.MaxBodyBytes,
 		WeaveParallelism: fc.WeaveParallelism,
 		WeaveConcurrency: fc.WeaveConcurrency,
+		VerdictCacheSize: fc.VerdictCacheSize,
 		ValidateParallel: fc.ValidateParallel,
 		MaxHeaderBytes:   fc.MaxHeaderBytes,
 		RunHistory:       fc.RunHistory,
@@ -200,15 +208,21 @@ func LoadConfig(path string) (Config, error) {
 
 // Server is one dscweaverd instance.
 type Server struct {
-	cfg  Config
-	reg  *obs.Registry
-	runs *runStore
-	rot  *obs.RotatingJSONL // nil unless EventsPath configured
+	cfg    Config
+	reg    *obs.Registry
+	runs   *runStore
+	rot    *obs.RotatingJSONL // nil unless EventsPath configured
+	vcache *core.VerdictCache // shared cross-run minimize verdict cache (nil when disabled)
 
 	weaveSem chan struct{}  // bounded weave worker pool
 	wg       sync.WaitGroup // in-flight weave/simulate requests
-	closed   atomic.Bool    // draining: reject new work
-	queued   atomic.Int64   // requests waiting on a pool slot
+	// drainMu orders admit's closed-check + wg.Add against Shutdown's
+	// closed-flip: a wg.Add may otherwise start concurrently with
+	// wg.Wait after the counter hit zero, which the WaitGroup contract
+	// forbids. admit holds the read side only across the check + Add.
+	drainMu sync.RWMutex
+	closed  atomic.Bool  // draining: reject new work
+	queued  atomic.Int64 // requests waiting on a pool slot
 
 	// abortCtx is canceled when Shutdown's drain deadline passes: every
 	// in-flight weave context is derived from the request context AND
@@ -242,6 +256,9 @@ func New(cfg Config) (*Server, error) {
 		reg:      reg,
 		runs:     newRunStore(cfg.RunHistory),
 		weaveSem: make(chan struct{}, cfg.WeaveConcurrency),
+	}
+	if cfg.VerdictCacheSize >= 0 {
+		s.vcache = core.NewVerdictCache(cfg.VerdictCacheSize)
 	}
 	s.abortCtx, s.abortAll = context.WithCancel(context.Background())
 	if cfg.EventsPath != "" {
@@ -401,16 +418,13 @@ var errSaturated = errors.New("weave pool saturated")
 // frees up within QueueWait (load shed: errSaturated), or when the
 // request deadline expires first.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	s.drainMu.RLock()
 	if s.closed.Load() {
+		s.drainMu.RUnlock()
 		return nil, errors.New("server draining")
 	}
 	s.wg.Add(1)
-	// Shutdown may have flipped closed between the check and the Add;
-	// re-checking keeps the drain's wg.Wait from racing new work.
-	if s.closed.Load() {
-		s.wg.Done()
-		return nil, errors.New("server draining")
-	}
+	s.drainMu.RUnlock()
 	s.queueDepth.Set(s.queued.Add(1))
 	defer func() { s.queueDepth.Set(s.queued.Add(-1)) }()
 	wait := time.NewTimer(s.cfg.QueueWait)
@@ -567,7 +581,12 @@ const abortWait = time.Second
 // waits one short beat more. The rotating event sink closes last so
 // every drained run's events hit the log.
 func (s *Server) Shutdown() error {
+	// The write lock waits out any admit between its closed-check and
+	// wg.Add; once released, every later admit rejects before Adding,
+	// so wg.Wait below cannot race a zero-to-positive Add.
+	s.drainMu.Lock()
 	s.closed.Store(true)
+	s.drainMu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	var err error

@@ -33,6 +33,13 @@ type WeaveRequest struct {
 	// Parallelism overrides the server's minimizer worker count for
 	// this request (0 = server default, capped at 256).
 	Parallelism int `json:"parallelism,omitempty"`
+	// NoCache runs the paper-faithful naive minimizer engine (every
+	// closure re-derived per candidate) and NoSpeculation disables the
+	// speculative candidate batches — diagnostic ablations; the minimal
+	// set is identical either way. NoCache also bypasses the server's
+	// cross-run verdict cache for this request.
+	NoCache       bool `json:"no_cache,omitempty"`
+	NoSpeculation bool `json:"no_speculation,omitempty"`
 	// MaxStates bounds the soundness exploration for this request
 	// (0 = the petri default, 1<<20).
 	MaxStates int `json:"max_states,omitempty"`
@@ -102,6 +109,10 @@ type WeaveResponse struct {
 	MinimalConstraints    int `json:"minimal_constraints"`
 	Removed               int `json:"removed"`
 	EquivalenceChecks     int `json:"equivalence_checks"`
+	// VerdictCacheHit reports that the minimize stage replayed a removal
+	// sequence recorded by an earlier request for the same desugared
+	// constraint set instead of re-deciding the candidates.
+	VerdictCacheHit bool `json:"verdict_cache_hit,omitempty"`
 
 	// Minimal renders the minimal constraint set, one constraint per
 	// entry, in the minimizer's deterministic order.
@@ -134,10 +145,18 @@ func (s *Server) weaveOptions(q *WeaveRequest, sink obs.Sink, withOutputs bool) 
 		parallelism = s.cfg.WeaveParallelism
 	}
 	opts := weave.Options{
-		Frontend:    fe,
-		Parallelism: parallelism,
-		Metrics:     s.reg,
-		Events:      sink,
+		Frontend:      fe,
+		Parallelism:   parallelism,
+		NoCache:       q.NoCache,
+		NoSpeculation: q.NoSpeculation,
+		VerdictCache:  s.vcache,
+		Metrics:       s.reg,
+		Events:        sink,
+	}
+	if q.NoCache {
+		// A no-cache request asks for the naive engine end to end; replaying
+		// a recorded verdict sequence would defeat the ablation.
+		opts.VerdictCache = nil
 	}
 	if withOutputs {
 		opts.Validate = q.wantValidate()
@@ -174,6 +193,7 @@ func buildWeaveResponse(res *weave.Result, runID string) *WeaveResponse {
 		MinimalConstraints:    min.Minimal.Len(),
 		Removed:               len(min.Removed),
 		EquivalenceChecks:     min.EquivalenceChecks,
+		VerdictCacheHit:       min.VerdictCacheHit,
 	}
 	for _, c := range min.Minimal.Constraints() {
 		resp.Minimal = append(resp.Minimal, c.String())

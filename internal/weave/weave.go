@@ -73,12 +73,20 @@ type Options struct {
 	// minimizer (nil derives guards from the constraint set, the
 	// normal case).
 	Guards map[core.Node]cond.Expr
-	// Parallelism / NoCache / StrictAnnotations tune the minimizer
-	// engine exactly as core.MinimizeOptions does; none of them change
-	// the minimal set.
+	// Parallelism / NoCache / NoSpeculation / StrictAnnotations tune
+	// the minimizer engine exactly as core.MinimizeOptions does; none
+	// of them change the minimal set.
 	Parallelism       int
 	NoCache           bool
+	NoSpeculation     bool
 	StrictAnnotations bool
+
+	// VerdictCache, when non-nil, lets repeated runs over the same
+	// desugared constraint set skip Definition 6 entirely: the minimize
+	// stage replays the recorded removal sequence on a content hash
+	// match (core.VerdictCache is safe for concurrent pipelines, so one
+	// cache is typically shared server-wide).
+	VerdictCache *core.VerdictCache
 
 	// Validate enables the Petri-net soundness stage; MaxStates bounds
 	// its exploration (0 = the petri default, 1<<20).
@@ -351,6 +359,8 @@ func (p *Pipeline) minimize(ctx context.Context, res *Result) error {
 		Guards:            p.opts.Guards,
 		Parallelism:       p.opts.Parallelism,
 		NoCache:           p.opts.NoCache,
+		NoSpeculation:     p.opts.NoSpeculation,
+		VerdictCache:      p.opts.VerdictCache,
 		StrictAnnotations: p.opts.StrictAnnotations,
 		Metrics:           p.opts.Metrics,
 		Events:            p.opts.Events,

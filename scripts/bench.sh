@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the minimizer benchmark sweep and writes BENCH_minimize.json:
 # one record per BenchmarkMinimizeParallel row with the workload size,
-# worker count, cache configuration, ns/op, annotated-closure pair
-# comparisons and closure-cache hits. Also runs the scheduler
+# worker count, engine configuration (closure cache, speculation,
+# verdict cache), ns/op, annotated-closure pair comparisons,
+# closure-cache hits and the cross-run verdict-cache hit rate. Also runs the scheduler
 # observability-overhead and no-fault retry-overhead benchmarks and
 # writes BENCH_schedule.json with the obs=off/obs=on and
 # retry=off/retry=on ns/op pairs and their overhead percentages. Finally
@@ -18,7 +19,7 @@
 #                    [soundness-output.json]
 #
 # BENCHTIME (default 1x) is passed to -benchtime; set DSCW_BENCH_LARGE=1
-# to include the n=1024 rows (minutes per op). SCHED_BENCHTIME (default
+# to include the n=4096 stretch rows (the n=1024 rows always run). SCHED_BENCHTIME (default
 # 20x) controls the scheduler overhead runs, which need repetitions for
 # a stable ratio. WEAVE_BENCHTIME (default 1x) controls the pipeline
 # stage runs, whose layered row is seconds per op.
@@ -41,22 +42,25 @@ awk '
 /^BenchmarkMinimizeParallel\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    n = 0; workers = 0; cache = "true"
+    n = 0; workers = 0; cache = "true"; spec = "true"; vcache = "false"
     split(name, parts, "/")
     for (i in parts) {
         if (parts[i] ~ /^activities=/) { split(parts[i], kv, "="); n = kv[2] }
         if (parts[i] ~ /^workers=/)    { split(parts[i], kv, "="); workers = kv[2] }
         if (parts[i] == "nocache")     { cache = "false" }
+        if (parts[i] == "nospec")      { spec = "false" }
+        if (parts[i] == "vcache")      { vcache = "true" }
     }
-    ns = 0; pairs = 0; hits = 0
+    ns = 0; pairs = 0; hits = 0; vrate = 0
     for (i = 3; i < NF; i += 2) {
-        if ($(i+1) == "ns/op")        ns = $i
-        if ($(i+1) == "pairs/op")     pairs = $i
-        if ($(i+1) == "cachehits/op") hits = $i
+        if ($(i+1) == "ns/op")         ns = $i
+        if ($(i+1) == "pairs/op")      pairs = $i
+        if ($(i+1) == "cachehits/op")  hits = $i
+        if ($(i+1) == "vcachehits/op") vrate = $i
     }
     if (ns == 0) next
-    rec = sprintf("  {\"name\": \"%s\", \"activities\": %d, \"workers\": %d, \"cache\": %s, \"ns_per_op\": %.0f, \"pair_comparisons\": %.0f, \"cache_hits\": %.0f}",
-                  name, n, workers, cache, ns, pairs, hits)
+    rec = sprintf("  {\"name\": \"%s\", \"activities\": %d, \"workers\": %d, \"cache\": %s, \"speculation\": %s, \"verdict_cache\": %s, \"ns_per_op\": %.0f, \"pair_comparisons\": %.0f, \"cache_hits\": %.0f, \"verdict_cache_hit_rate\": %.2f}",
+                  name, n, workers, cache, spec, vcache, ns, pairs, hits, vrate)
     recs[++count] = rec
 }
 END {
