@@ -1,0 +1,413 @@
+// Command dscbench thrashes a live dscweaverd with a configurable mix
+// of weave, simulate and run-history reads, reporting per-op-class
+// latency percentiles, throughput, error/shed counts and the daemon's
+// RSS as one JSON document — the load-test companion to the in-process
+// benchmarks (scripts/bench.sh wires it into BENCH_load.json).
+//
+// The benchmark generates -procs synthetic processes with the workload
+// package (layered DAGs with shortcut and decision fodder, rendered to
+// DSCL), then runs -clients concurrent client routines. Each routine
+// draws operations from the weighted mix:
+//
+//	weave     POST /v1/weave      (write: full pipeline)
+//	simulate  POST /v1/simulate   (write: pipeline + engine run)
+//	runs      GET  /v1/runs       (read: history listing)
+//	events    GET  /v1/runs/{id}/events (read: log replay of an
+//	          id observed earlier in the bench)
+//
+// A run is bounded by -duration, or by -requests when set (whichever
+// trips first). 429 sheds are counted separately from errors: under
+// deliberate overload, shedding is the server working as designed.
+//
+// Usage:
+//
+//	dscbench [flags]
+//
+//	-addr URL     dscweaverd base URL (default http://127.0.0.1:8421)
+//	-clients N    concurrent client routines (default 8)
+//	-duration D   run length (default 30s)
+//	-requests N   stop after N total requests (0 = duration-bound)
+//	-mix NAME     read-heavy | write-heavy | scan, or custom weights
+//	              "weave=2,simulate=1,runs=4,events=3"
+//	-procs N      distinct generated processes (default 8)
+//	-layers/-width/-density  workload shape (default 4x3, 0.3)
+//	-seed N       generation and mix-draw seed (default 1)
+//	-rss-pid PID  sample VmRSS of this process at the end (0 = skip)
+//	-out FILE     output path (default "-" = stdout)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/dscl"
+	"dscweaver/internal/workload"
+)
+
+// opClasses in mix order; weights index into this.
+var opClasses = []string{"weave", "simulate", "runs", "events"}
+
+// namedMixes are the canonical workload mixes. Weights are relative
+// draw frequencies per op class.
+var namedMixes = map[string]map[string]int{
+	"read-heavy":  {"weave": 1, "simulate": 1, "runs": 4, "events": 4},
+	"write-heavy": {"weave": 4, "simulate": 4, "runs": 1, "events": 1},
+	"scan":        {"weave": 1, "simulate": 0, "runs": 6, "events": 3},
+}
+
+func parseMix(s string) (map[string]int, error) {
+	if m, ok := namedMixes[s]; ok {
+		return m, nil
+	}
+	m := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix element %q (want class=weight)", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		known := false
+		for _, c := range opClasses {
+			if k == c {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown op class %q (want one of %s)", k, strings.Join(opClasses, ", "))
+		}
+		m[k] = n
+	}
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// opStats collects one op class's outcomes. Latencies are recorded in
+// nanoseconds and reduced to percentiles at the end.
+type opStats struct {
+	mu        sync.Mutex
+	latencies []int64
+	errors    int64
+	sheds     int64
+}
+
+func (s *opStats) record(d time.Duration, code int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err != nil:
+		s.errors++
+	case code == http.StatusTooManyRequests:
+		s.sheds++
+	case code >= 400:
+		s.errors++
+	default:
+		s.latencies = append(s.latencies, int64(d))
+	}
+}
+
+// percentile returns the p-th percentile (0..100) of sorted ns values.
+func percentile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return float64(sorted[idx]) / 1e6 // ms
+}
+
+// opReport is the per-class section of the output document.
+type opReport struct {
+	Count  int     `json:"count"`
+	Errors int64   `json:"errors"`
+	Sheds  int64   `json:"sheds"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func (s *opStats) report() opReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lat := append([]int64(nil), s.latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	r := opReport{Count: len(lat), Errors: s.errors, Sheds: s.sheds}
+	if len(lat) > 0 {
+		r.P50MS = percentile(lat, 50)
+		r.P95MS = percentile(lat, 95)
+		r.P99MS = percentile(lat, 99)
+		r.MaxMS = float64(lat[len(lat)-1]) / 1e6
+	}
+	return r
+}
+
+// idRing is the shared bounded set of observed run ids the events op
+// draws from — clients read back runs the bench itself created.
+type idRing struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+const idRingCap = 512
+
+func (r *idRing) add(id string) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	r.ids = append(r.ids, id)
+	if len(r.ids) > idRingCap {
+		r.ids = r.ids[len(r.ids)-idRingCap:]
+	}
+	r.mu.Unlock()
+}
+
+func (r *idRing) pick(rng *rand.Rand) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ids) == 0 {
+		return ""
+	}
+	return r.ids[rng.Intn(len(r.ids))]
+}
+
+// genSources renders n deterministic synthetic processes to DSCL.
+func genSources(n, layers, width int, density float64, seed int64) []string {
+	out := make([]string, n)
+	for i := range out {
+		w := workload.Layered(layers, width, density, seed+int64(i)).
+			WithShortcuts(width).
+			WithDecisions(1)
+		out[i] = dscl.PrintDocument(&dscl.Document{
+			Proc: w.Proc, Deps: w.Deps, Extra: core.NewConstraintSet(w.Proc),
+		})
+	}
+	return out
+}
+
+// readRSS samples VmRSS from /proc/<pid>/status, in bytes (0 when the
+// pid is gone or the platform has no procfs).
+func readRSS(pid int) int64 {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			if err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+// report is the full output document.
+type report struct {
+	Bench      string              `json:"bench"`
+	Addr       string              `json:"addr"`
+	Mix        string              `json:"mix"`
+	Weights    map[string]int      `json:"weights"`
+	Clients    int                 `json:"clients"`
+	Procs      int                 `json:"procs"`
+	Seed       int64               `json:"seed"`
+	DurationS  float64             `json:"duration_s"`
+	Requests   int64               `json:"requests"`
+	Throughput float64             `json:"throughput_rps"`
+	Ops        map[string]opReport `json:"ops"`
+	RSSBytes   int64               `json:"rss_bytes,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8421", "dscweaverd base URL")
+	clients := flag.Int("clients", 8, "concurrent client routines")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	requests := flag.Int64("requests", 0, "stop after N total requests (0 = duration-bound)")
+	mixFlag := flag.String("mix", "read-heavy", `read-heavy | write-heavy | scan, or "class=weight,..."`)
+	procs := flag.Int("procs", 8, "distinct generated processes")
+	layers := flag.Int("layers", 4, "workload ranks per process")
+	width := flag.Int("width", 3, "activities per rank")
+	density := flag.Float64("density", 0.3, "extra data-dependency probability")
+	seed := flag.Int64("seed", 1, "generation and mix-draw seed")
+	rssPID := flag.Int("rss-pid", 0, "sample VmRSS of this pid at the end (0 = skip)")
+	out := flag.String("out", "-", `output path ("-" = stdout)`)
+	flag.Parse()
+	if flag.NArg() != 0 || *clients < 1 || *procs < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dscbench [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	weights, err := parseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	sources := genSources(*procs, *layers, *width, *density, *seed)
+	base := strings.TrimRight(*addr, "/")
+	httpc := &http.Client{Timeout: 60 * time.Second}
+
+	// Weighted draw table: class repeated weight times.
+	var draw []string
+	for _, c := range opClasses {
+		for i := 0; i < weights[c]; i++ {
+			draw = append(draw, c)
+		}
+	}
+
+	stats := map[string]*opStats{}
+	for _, c := range opClasses {
+		stats[c] = &opStats{}
+	}
+	ring := &idRing{}
+	var total atomic.Int64
+	deadline := time.Now().Add(*duration)
+
+	do := func(rng *rand.Rand, class string) {
+		var (
+			code int
+			id   string
+			err  error
+		)
+		began := time.Now()
+		switch class {
+		case "weave":
+			src := sources[rng.Intn(len(sources))]
+			code, id, err = post(httpc, base+"/v1/weave", map[string]any{"source": src})
+		case "simulate":
+			src := sources[rng.Intn(len(sources))]
+			code, id, err = post(httpc, base+"/v1/simulate", map[string]any{
+				"source": src, "timeout_ms": 10000,
+			})
+		case "runs":
+			code, err = get(httpc, base+"/v1/runs?limit=50")
+		case "events":
+			rid := ring.pick(rng)
+			if rid == "" {
+				code, err = get(httpc, base+"/v1/runs?limit=1")
+			} else {
+				code, err = get(httpc, base+"/v1/runs/"+rid+"/events")
+			}
+		}
+		stats[class].record(time.Since(began), code, err)
+		ring.add(id)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			for time.Now().Before(deadline) {
+				if *requests > 0 && total.Load() >= *requests {
+					return
+				}
+				total.Add(1)
+				do(rng, draw[rng.Intn(len(draw))])
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Bench:     "load",
+		Addr:      base,
+		Mix:       *mixFlag,
+		Weights:   weights,
+		Clients:   *clients,
+		Procs:     *procs,
+		Seed:      *seed,
+		DurationS: elapsed.Seconds(),
+		Requests:  total.Load(),
+		Ops:       map[string]opReport{},
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	for _, c := range opClasses {
+		rep.Ops[c] = stats[c].report()
+	}
+	if *rssPID > 0 {
+		rep.RSSBytes = readRSS(*rssPID)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// post sends a JSON body and extracts run_id from a 200 response (the
+// weave/simulate shapes both carry one).
+func post(c *http.Client, url string, body any) (code int, runID string, err error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			RunID string `json:"run_id"`
+		}
+		_ = json.Unmarshal(raw, &out)
+		runID = out.RunID
+	}
+	return resp.StatusCode, runID, nil
+}
+
+func get(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dscbench:", err)
+	os.Exit(1)
+}

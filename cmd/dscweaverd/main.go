@@ -23,6 +23,9 @@
 //
 //	-addr ADDR       listen address (default :8421)
 //	-config FILE     JSON config file (flags override it)
+//	-store-dir DIR   persistent run store directory: run history
+//	                 survives restarts and outgrows the in-memory ring
+//	-store-fsync     fsync the store on every run finish
 //	-events FILE     rotating JSONL event log path
 //	-parallel N      default minimizer worker count per weave
 //	-validate-parallel N
@@ -52,6 +55,8 @@ import (
 func main() {
 	addr := flag.String("addr", "", "listen address (default :8421)")
 	configPath := flag.String("config", "", "JSON config file (flags override it)")
+	storeDir := flag.String("store-dir", "", "persistent run store directory (empty = memory-only run history)")
+	storeFsync := flag.Bool("store-fsync", false, "fsync the run store on every run finish")
 	events := flag.String("events", "", "rotating JSONL event log path")
 	parallel := flag.Int("parallel", 0, "default minimizer worker count per weave (0 = GOMAXPROCS)")
 	validateParallel := flag.Int("validate-parallel", 0, "default soundness-exploration worker count per weave (0 or 1 = sequential)")
@@ -75,6 +80,12 @@ func main() {
 	}
 	if *addr != "" {
 		cfg.Addr = *addr
+	}
+	if *storeDir != "" {
+		cfg.StoreDir = *storeDir
+	}
+	if *storeFsync {
+		cfg.StoreFsync = true
 	}
 	if *events != "" {
 		cfg.EventsPath = *events

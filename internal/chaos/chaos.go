@@ -49,14 +49,24 @@ type Config struct {
 	// cancellation for a run, uniform in (0, CancelWithin].
 	CancelP      float64
 	CancelWithin time.Duration
+	// DiskErrorP / DiskShortWriteP / DiskSyncFaultP tune the disk-fault
+	// file layer returned by OpenFile (see disk.go): per-write outright
+	// failures, per-write torn writes (half the bytes land), and
+	// per-sync fsync faults.
+	DiskErrorP      float64
+	DiskShortWriteP float64
+	DiskSyncFaultP  float64
 }
 
 // Stats counts what the injector actually did, for assertions that a
 // chaos run exercised the paths it claims to.
 type Stats struct {
-	Latencies  int64
-	Transients int64
-	Permanents int64
+	Latencies       int64
+	Transients      int64
+	Permanents      int64
+	DiskErrors      int64
+	DiskShortWrites int64
+	DiskSyncFaults  int64
 }
 
 // Injector implements Config. Safe for concurrent use.
@@ -67,9 +77,12 @@ type Injector struct {
 	attempts map[string]int // per-key attempt counter
 	permAt   map[string]int // first attempt that drew a permanent fault
 
-	latencies  atomic.Int64
-	transients atomic.Int64
-	permanents atomic.Int64
+	latencies       atomic.Int64
+	transients      atomic.Int64
+	permanents      atomic.Int64
+	diskErrors      atomic.Int64
+	diskShortWrites atomic.Int64
+	diskSyncFaults  atomic.Int64
 }
 
 // New builds an injector for one seed.
@@ -83,9 +96,12 @@ func (in *Injector) Seed() int64 { return in.cfg.Seed }
 // Stats snapshots the injection counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		Latencies:  in.latencies.Load(),
-		Transients: in.transients.Load(),
-		Permanents: in.permanents.Load(),
+		Latencies:       in.latencies.Load(),
+		Transients:      in.transients.Load(),
+		Permanents:      in.permanents.Load(),
+		DiskErrors:      in.diskErrors.Load(),
+		DiskShortWrites: in.diskShortWrites.Load(),
+		DiskSyncFaults:  in.diskSyncFaults.Load(),
 	}
 }
 

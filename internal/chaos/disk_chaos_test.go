@@ -1,0 +1,162 @@
+// Disk-fault chaos: dscweaverd with a persistent run store whose file
+// layer injects seeded short writes, ENOSPC-style errors and fsync
+// faults. Whatever a seed does to the disk, the daemon must stay live
+// on /healthz, flip the store_degraded gauge (never crash) when a
+// write fault lands, keep answering /v1/runs, and never serve a
+// half-written event-log line. Replay one seed with
+//
+//	go test ./internal/chaos -run TestChaosDiskFaults -chaos.seed=<N>
+package chaos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dscweaver/internal/chaos"
+	"dscweaver/internal/chaos/leak"
+	"dscweaver/internal/server"
+)
+
+func TestChaosDiskFaults(t *testing.T) {
+	const (
+		nClients  = 4
+		perClient = 6
+	)
+	src := purchasingSource(t)
+	var sweepDegraded, sweepFaults int64
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		leak.Check(t)
+		inj := chaos.New(chaos.Config{
+			Seed:            seed,
+			DiskErrorP:      0.08,
+			DiskShortWriteP: 0.08,
+			DiskSyncFaultP:  0.25,
+		})
+		s, err := server.New(server.Config{
+			StoreDir:          t.TempDir(),
+			StoreSegmentBytes: 4 << 10, // rotate often: seals flush through the faulty layer
+			StoreFsync:        true,    // run finishes sync, exposing fsync faults
+			StoreOpenFile:     inj.OpenFile(nil),
+			RunHistory:        4, // tiny ring: history answers depend on the store
+		})
+		if err != nil {
+			t.Fatalf("seed %d: a faulty disk must not fail server boot: %v", seed, err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		healthz := func(when string) {
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatalf("seed %d: healthz %s: %v", seed, when, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("seed %d: healthz %s = %d, want 200", seed, when, resp.StatusCode)
+			}
+		}
+		healthz("before storm")
+
+		// Concurrent weave storm, each client polling liveness and the
+		// run listing between writes.
+		var wg sync.WaitGroup
+		for c := 0; c < nClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					body := fmt.Sprintf(`{"source": %q}`, src)
+					resp, err := http.Post(ts.URL+"/v1/weave", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("seed %d: weave: %v", seed, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("seed %d: weave = %d (disk faults must not fail requests)", seed, resp.StatusCode)
+					}
+					if resp, err := http.Get(ts.URL + "/v1/runs?limit=5"); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		healthz("after storm")
+
+		// Degradation accounting: a latched degrade requires at least one
+		// injected fault, and every injected write error must be counted.
+		reg := s.Registry()
+		degraded := reg.Gauge("store_degraded").Value()
+		writeErrs := reg.Counter("store_write_errors_total").Value()
+		st := inj.Stats()
+		injected := st.DiskErrors + st.DiskShortWrites + st.DiskSyncFaults
+		if degraded != 0 && degraded != 1 {
+			t.Errorf("seed %d: store_degraded = %d, want 0 or 1", seed, degraded)
+		}
+		if degraded == 1 && injected == 0 {
+			t.Errorf("seed %d: store degraded without any injected fault", seed)
+		}
+		if degraded == 1 && writeErrs == 0 {
+			t.Errorf("seed %d: store degraded but store_write_errors_total = 0", seed)
+		}
+		sweepDegraded += degraded
+		sweepFaults += injected
+
+		// Every run the server lists must replay as clean JSONL — a torn
+		// or half-written line must never cross the API boundary.
+		resp, err := http.Get(ts.URL + "/v1/runs")
+		if err != nil {
+			t.Fatalf("seed %d: runs: %v", seed, err)
+		}
+		var runs []server.RunSummary
+		if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+			t.Fatalf("seed %d: decode runs: %v", seed, err)
+		}
+		resp.Body.Close()
+		if len(runs) == 0 {
+			t.Fatalf("seed %d: no runs listed after %d weaves", seed, nClients*perClient)
+		}
+		for _, r := range runs {
+			resp, err := http.Get(ts.URL + "/v1/runs/" + r.ID + "/events")
+			if err != nil {
+				t.Fatalf("seed %d: events %s: %v", seed, r.ID, err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("seed %d: events %s = %d, want 200", seed, r.ID, resp.StatusCode)
+				continue
+			}
+			for i, line := range strings.Split(string(raw), "\n") {
+				if line == "" {
+					continue
+				}
+				if !json.Valid([]byte(line)) {
+					t.Errorf("seed %d: run %s line %d is not valid JSON: %q", seed, r.ID, i+1, line)
+				}
+			}
+		}
+
+		if err := s.Shutdown(); err != nil && degraded == 0 {
+			t.Errorf("seed %d: clean store must shut down cleanly: %v", seed, err)
+		}
+	})
+	// The sweep as a whole must have exercised the fault paths; a
+	// single-seed replay is exempt.
+	if len(seeds()) > 1 && sweepFaults == 0 {
+		t.Error("12-seed sweep injected no disk faults — probabilities too low to test anything")
+	}
+	if len(seeds()) > 1 && sweepDegraded == 0 {
+		t.Error("12-seed sweep never degraded the store — degrade path untested")
+	}
+}

@@ -148,6 +148,14 @@ func (m *MemSink) Events() []Event {
 	return append([]Event(nil), m.events...)
 }
 
+// Len reports the number of collected events without copying them —
+// counting a large run's log must not clone it.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
 // JSONLWriter streams events as one JSON object per line. The zero
 // value is not usable; construct with NewJSONLWriter. Emit never
 // fails the caller: the first write error is latched and later emits

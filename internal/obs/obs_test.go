@@ -158,4 +158,7 @@ func TestMultiSinkAndMemSink(t *testing.T) {
 	if len(a.Events()) != 2 || len(b.Events()) != 2 {
 		t.Fatalf("fan-out lost events: %d / %d", len(a.Events()), len(b.Events()))
 	}
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("Len disagrees with Events: %d / %d", a.Len(), b.Len())
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dscweaver/internal/obs"
+	"dscweaver/internal/store"
 )
 
 // RunSummary is the queryable metadata of one weave or simulate run.
@@ -21,11 +22,13 @@ type RunSummary struct {
 }
 
 // run is one tracked run: its summary plus the in-memory event log
-// served by GET /v1/runs/{id}/events.
+// served by GET /v1/runs/{id}/events, and — when the server has a
+// persistent store — the store appender its records flow through.
 type run struct {
 	mu      sync.Mutex
 	summary RunSummary
 	events  *obs.MemSink
+	app     *store.Appender // nil without a persistent store
 }
 
 func (r *run) setProcess(name string) {
@@ -34,7 +37,9 @@ func (r *run) setProcess(name string) {
 	r.mu.Unlock()
 }
 
-// finish records the terminal status; a nil err means success.
+// finish records the terminal status; a nil err means success. With a
+// store attached this is also the durability boundary: the run's
+// records are flushed before finish returns.
 func (r *run) finish(err error) {
 	r.mu.Lock()
 	if err != nil {
@@ -43,7 +48,11 @@ func (r *run) finish(err error) {
 	} else {
 		r.summary.Status = "ok"
 	}
+	app, proc := r.app, r.summary.Process
 	r.mu.Unlock()
+	if app != nil {
+		app.Finish(proc, err)
+	}
 }
 
 // Summary snapshots the run's metadata, filling the live event count.
@@ -51,26 +60,33 @@ func (r *run) Summary() RunSummary {
 	r.mu.Lock()
 	s := r.summary
 	r.mu.Unlock()
-	s.Events = len(r.events.Events())
+	s.Events = r.events.Len()
 	return s
 }
 
 // runStore is a bounded ring of recent runs: the server keeps the
-// last capacity runs' event logs in memory (the durable copy, when
-// configured, is the rotating JSONL file shared by all runs).
+// last capacity runs' event logs in memory. With a persistent segment
+// store attached the ring is purely a cache — evicted runs stay
+// answerable from the store, and the id sequence resumes past the
+// store's high-water mark across restarts.
 type runStore struct {
 	mu       sync.Mutex
 	seq      int64
 	capacity int
 	order    []string // run ids, oldest first
 	byID     map[string]*run
+	persist  *store.Store // nil = memory-only
 }
 
-func newRunStore(capacity int) *runStore {
+func newRunStore(capacity int, persist *store.Store) *runStore {
 	if capacity <= 0 {
 		capacity = 128
 	}
-	return &runStore{capacity: capacity, byID: map[string]*run{}}
+	rs := &runStore{capacity: capacity, byID: map[string]*run{}, persist: persist}
+	if persist != nil {
+		rs.seq = persist.MaxSeq()
+	}
+	return rs
 }
 
 // New allocates a run and evicts the oldest beyond capacity.
@@ -87,6 +103,9 @@ func (rs *runStore) New(kind string) *run {
 		},
 		events: &obs.MemSink{},
 	}
+	if rs.persist != nil {
+		r.app = rs.persist.Begin(r.summary.ID, rs.seq, kind, r.summary.Began)
+	}
 	rs.byID[r.summary.ID] = r
 	rs.order = append(rs.order, r.summary.ID)
 	for len(rs.order) > rs.capacity {
@@ -96,7 +115,8 @@ func (rs *runStore) New(kind string) *run {
 	return r
 }
 
-// Get looks a run up by id.
+// Get looks a run up by id (in-memory ring only; the handlers fall
+// back to the persistent store on a miss).
 func (rs *runStore) Get(id string) (*run, bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -104,7 +124,7 @@ func (rs *runStore) Get(id string) (*run, bool) {
 	return r, ok
 }
 
-// List returns summaries, newest first.
+// List returns the ring's summaries, newest first.
 func (rs *runStore) List() []RunSummary {
 	rs.mu.Lock()
 	ids := append([]string(nil), rs.order...)
@@ -116,4 +136,26 @@ func (rs *runStore) List() []RunSummary {
 		}
 	}
 	return out
+}
+
+// metaSummary renders a store catalog entry in the ring's summary
+// shape, so /v1/runs looks the same whichever layer answers.
+func metaSummary(m store.RunMeta) RunSummary {
+	s := RunSummary{
+		ID:      m.ID,
+		Kind:    m.Kind,
+		Process: m.Proc,
+		Began:   m.Began,
+		Status:  "running",
+		Events:  m.Events,
+	}
+	if m.Done {
+		if m.OK {
+			s.Status = "ok"
+		} else {
+			s.Status = "error"
+			s.Error = m.Err
+		}
+	}
+	return s
 }

@@ -12,7 +12,7 @@ import (
 
 func TestRunStoreEvictionBounded(t *testing.T) {
 	const capacity = 8
-	rs := newRunStore(capacity)
+	rs := newRunStore(capacity, nil)
 	var early []string
 	for i := 0; i < 3*capacity; i++ {
 		r := rs.New("weave")
@@ -47,7 +47,7 @@ func TestRunStoreConcurrentNewGetList(t *testing.T) {
 		writers  = 8
 		perG     = 200
 	)
-	rs := newRunStore(capacity)
+	rs := newRunStore(capacity, nil)
 	ids := make(chan string, writers*perG)
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {

@@ -32,6 +32,7 @@ import (
 
 	"dscweaver/internal/core"
 	"dscweaver/internal/obs"
+	"dscweaver/internal/store"
 )
 
 // Config tunes one server instance. The zero value is usable:
@@ -75,9 +76,23 @@ type Config struct {
 	WriteTimeout   time.Duration
 	IdleTimeout    time.Duration
 	MaxHeaderBytes int
-	// RunHistory is how many recent runs keep their event logs
-	// queryable via /v1/runs (default 128).
+	// RunHistory is how many recent runs keep their event logs cached
+	// in memory (default 128). With StoreDir set this is a cache size,
+	// not a history limit: evicted runs stay queryable from the store.
 	RunHistory int
+	// StoreDir, when set, backs /v1/runs and /v1/runs/{id}/events with
+	// the persistent segmented run store at this directory: run history
+	// survives restarts and outgrows the in-memory ring.
+	StoreDir string
+	// StoreSegmentBytes / StoreMaxSegments / StoreFsync tune the store
+	// (zero values take the store.Options defaults: 8 MiB segments,
+	// 64 retained, no fsync).
+	StoreSegmentBytes int64
+	StoreMaxSegments  int
+	StoreFsync        bool
+	// StoreOpenFile substitutes the store's file layer (chaos fault
+	// injection and tests; nil = the real filesystem).
+	StoreOpenFile func(path string) (store.File, error)
 	// EventsPath, when set, appends every run's events to a rotating
 	// JSONL log at this path.
 	EventsPath string
@@ -148,6 +163,10 @@ type fileConfig struct {
 	IdleTimeout      string               `json:"idle_timeout"`
 	MaxHeaderBytes   int                  `json:"max_header_bytes"`
 	RunHistory       int                  `json:"run_history"`
+	StoreDir         string               `json:"store_dir"`
+	StoreSegBytes    int64                `json:"store_segment_bytes"`
+	StoreMaxSegments int                  `json:"store_max_segments"`
+	StoreFsync       bool                 `json:"store_fsync"`
 	EventsPath       string               `json:"events_path"`
 	LogMaxBytes      int64                `json:"log_max_bytes"`
 	LogMaxAge        string               `json:"log_max_age"`
@@ -169,18 +188,22 @@ func LoadConfig(path string) (Config, error) {
 		return c, fmt.Errorf("config %s: %w", path, err)
 	}
 	c = Config{
-		Addr:             fc.Addr,
-		MaxBodyBytes:     fc.MaxBodyBytes,
-		WeaveParallelism: fc.WeaveParallelism,
-		WeaveConcurrency: fc.WeaveConcurrency,
-		VerdictCacheSize: fc.VerdictCacheSize,
-		ValidateParallel: fc.ValidateParallel,
-		MaxHeaderBytes:   fc.MaxHeaderBytes,
-		RunHistory:       fc.RunHistory,
-		EventsPath:       fc.EventsPath,
-		LogMaxBytes:      fc.LogMaxBytes,
-		LogMaxFiles:      fc.LogMaxFiles,
-		Buckets:          fc.Buckets,
+		Addr:              fc.Addr,
+		MaxBodyBytes:      fc.MaxBodyBytes,
+		WeaveParallelism:  fc.WeaveParallelism,
+		WeaveConcurrency:  fc.WeaveConcurrency,
+		VerdictCacheSize:  fc.VerdictCacheSize,
+		ValidateParallel:  fc.ValidateParallel,
+		MaxHeaderBytes:    fc.MaxHeaderBytes,
+		RunHistory:        fc.RunHistory,
+		StoreDir:          fc.StoreDir,
+		StoreSegmentBytes: fc.StoreSegBytes,
+		StoreMaxSegments:  fc.StoreMaxSegments,
+		StoreFsync:        fc.StoreFsync,
+		EventsPath:        fc.EventsPath,
+		LogMaxBytes:       fc.LogMaxBytes,
+		LogMaxFiles:       fc.LogMaxFiles,
+		Buckets:           fc.Buckets,
 	}
 	for _, d := range []struct {
 		raw string
@@ -211,6 +234,7 @@ type Server struct {
 	cfg    Config
 	reg    *obs.Registry
 	runs   *runStore
+	store  *store.Store       // nil unless StoreDir configured
 	rot    *obs.RotatingJSONL // nil unless EventsPath configured
 	vcache *core.VerdictCache // shared cross-run minimize verdict cache (nil when disabled)
 
@@ -251,10 +275,25 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("bucket override %s: %w", name, err)
 		}
 	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, store.Options{
+			SegmentBytes: cfg.StoreSegmentBytes,
+			MaxSegments:  cfg.StoreMaxSegments,
+			Fsync:        cfg.StoreFsync,
+			OpenFile:     cfg.StoreOpenFile,
+			Metrics:      reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("run store: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		runs:     newRunStore(cfg.RunHistory),
+		runs:     newRunStore(cfg.RunHistory, st),
+		store:    st,
 		weaveSem: make(chan struct{}, cfg.WeaveConcurrency),
 	}
 	if cfg.VerdictCacheSize >= 0 {
@@ -390,23 +429,126 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+// handleRuns lists run summaries, newest first. Optional query
+// parameters: limit=N caps the result, from=/to= (RFC 3339) bound the
+// run begin time — the store's per-segment index answers time-range
+// queries without scanning segments. With a persistent store the list
+// reaches past the in-memory ring; live ring entries override their
+// stored counterparts (their event counts are fresher).
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.runs.List())
-}
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	var from, to time.Time
+	for _, p := range []struct {
+		name string
+		dst  *time.Time
+	}{{"from", &from}, {"to", &to}} {
+		if v := q.Get(p.name); v != "" {
+			ts, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q: %w", p.name, v, err))
+				return
+			}
+			*p.dst = ts
+		}
+	}
 
-func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
-	rn, ok := s.runs.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+	inRange := func(began time.Time) bool {
+		if !from.IsZero() && began.Before(from) {
+			return false
+		}
+		if !to.IsZero() && began.After(to) {
+			return false
+		}
+		return true
+	}
+	mem := s.runs.List()
+	if s.store == nil {
+		out := make([]RunSummary, 0, len(mem))
+		for _, m := range mem {
+			if !inRange(m.Began) {
+				continue
+			}
+			out = append(out, m)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for _, e := range rn.events.Events() {
-		if err := enc.Encode(e); err != nil {
+	memByID := make(map[string]RunSummary, len(mem))
+	for _, m := range mem {
+		memByID[m.ID] = m
+	}
+	stored := s.store.ListRange(from, to, limit)
+	seen := make(map[string]bool, len(stored))
+	out := make([]RunSummary, 0, len(stored))
+	for _, sm := range stored {
+		seen[sm.ID] = true
+		if m, ok := memByID[sm.ID]; ok {
+			out = append(out, m)
+		} else {
+			out = append(out, metaSummary(sm))
+		}
+	}
+	// Ring entries the store never saw (degraded memory-only mode) are
+	// the newest runs: they lead the list.
+	var head []RunSummary
+	for _, m := range mem {
+		if !seen[m.ID] && inRange(m.Began) {
+			head = append(head, m)
+		}
+	}
+	out = append(head, out...)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	if out == nil {
+		out = []RunSummary{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRunEvents replays one run's event log as JSONL: from the
+// in-memory ring when the run is recent, otherwise from the segment
+// store — which serves the exact bytes that were appended, so a
+// replay is byte-identical across eviction and restarts. A store read
+// that hits corruption serves the valid prefix (never a half-written
+// line) and closes the stream.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rn, ok := s.runs.Get(id); ok {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range rn.events.Events() {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		return
+	}
+	if s.store != nil {
+		if _, ok := s.store.Get(id); ok {
+			evs, _ := s.store.Events(id) // valid prefix on error
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			for _, raw := range evs {
+				if _, err := w.Write(append(raw, '\n')); err != nil {
+					return
+				}
+			}
 			return
 		}
 	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
 }
 
 // errSaturated marks an admission shed by the queue-wait bound; the
@@ -478,12 +620,21 @@ func weaveStatus(err error) int {
 }
 
 // sinkFor builds a run's event sink: its in-memory log plus, when
-// configured, the shared rotating JSONL file.
+// configured, the persistent store appender and the shared rotating
+// JSONL file. The appender records the same marshaled bytes the
+// in-memory path serves, so store replays are byte-identical.
 func (s *Server) sinkFor(rn *run) obs.Sink {
-	if s.rot == nil {
+	if s.rot == nil && rn.app == nil {
 		return rn.events
 	}
-	return obs.MultiSink(rn.events, s.rot)
+	sinks := []obs.Sink{rn.events}
+	if rn.app != nil {
+		sinks = append(sinks, rn.app)
+	}
+	if s.rot != nil {
+		sinks = append(sinks, s.rot)
+	}
+	return obs.MultiSink(sinks...)
 }
 
 func (s *Server) handleWeave(w http.ResponseWriter, r *http.Request) {
@@ -578,8 +729,9 @@ const abortWait = time.Second
 // run to completion bounded by ShutdownGrace. When the grace expires
 // with requests still live, their pipeline contexts are canceled —
 // aborting the minimizer and Petri kernels mid-flight — and the drain
-// waits one short beat more. The rotating event sink closes last so
-// every drained run's events hit the log.
+// waits one short beat more. The rotating event sink and the
+// persistent run store close last so every drained run's events hit
+// the log and the store's active segment is sealed cleanly.
 func (s *Server) Shutdown() error {
 	// The write lock waits out any admit between its closed-check and
 	// wg.Add; once released, every later admit rejects before Adding,
@@ -610,6 +762,9 @@ func (s *Server) Shutdown() error {
 	}
 	if s.rot != nil {
 		err = errors.Join(err, s.rot.Close())
+	}
+	if s.store != nil {
+		err = errors.Join(err, s.store.Close())
 	}
 	return err
 }

@@ -1,0 +1,149 @@
+// Server-level contract of the persistent run store: /v1/runs answers
+// ids beyond the in-memory ring cap, /v1/runs/{id}/events replays
+// evicted and pre-restart runs byte-identically, and the id sequence
+// resumes past the store's high-water mark after a restart.
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dscweaver/internal/server"
+)
+
+func TestServerStoreBeyondRingAndRestart(t *testing.T) {
+	src := purchasingSource(t)
+	dir := t.TempDir()
+	cfg := server.Config{
+		StoreDir:   dir,
+		RunHistory: 2, // tiny ring: most runs must be answered by the store
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const total = 6
+	eventLogs := map[string]string{} // run id -> JSONL served while still in the ring
+	var ids []string
+	for i := 0; i < total; i++ {
+		var wv server.WeaveResponse
+		code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &wv)
+		if code != http.StatusOK {
+			t.Fatalf("weave %d: %d %s", i, code, raw)
+		}
+		ids = append(ids, wv.RunID)
+		code, events := getBody(t, fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, wv.RunID))
+		if code != http.StatusOK {
+			t.Fatalf("events for live run %s: %d", wv.RunID, code)
+		}
+		eventLogs[wv.RunID] = events
+	}
+
+	// The ring caps at 2, but the listing reaches the store: all runs
+	// answer, newest first, every one finished.
+	code, runsRaw := getBody(t, ts.URL+"/v1/runs")
+	if code != http.StatusOK {
+		t.Fatalf("runs: %d", code)
+	}
+	var runs []server.RunSummary
+	if err := json.Unmarshal([]byte(runsRaw), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != total {
+		t.Fatalf("listed %d runs, want %d (ring cap is 2): %s", len(runs), total, runsRaw)
+	}
+	for i, r := range runs {
+		if want := ids[total-1-i]; r.ID != want {
+			t.Errorf("run %d = %s, want %s (newest first)", i, r.ID, want)
+		}
+		if r.Status != "ok" || r.Events == 0 {
+			t.Errorf("run %s: status %s, %d events", r.ID, r.Status, r.Events)
+		}
+	}
+
+	// limit= and from= are honored.
+	code, limitedRaw := getBody(t, ts.URL+"/v1/runs?limit=3")
+	if code != http.StatusOK {
+		t.Fatalf("runs?limit: %d", code)
+	}
+	var limited []server.RunSummary
+	if err := json.Unmarshal([]byte(limitedRaw), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 || limited[0].ID != ids[total-1] {
+		t.Errorf("limit=3 returned %d runs starting %v", len(limited), limited)
+	}
+	future := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	if code, raw := getBody(t, ts.URL+"/v1/runs?from="+future); code != http.StatusOK || raw != "[]\n" {
+		t.Errorf("future from=: %d %q, want empty list", code, raw)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/runs?limit=x"); code != http.StatusBadRequest {
+		t.Errorf("bad limit: %d, want 400", code)
+	}
+
+	// Evicted runs replay from the store byte-identically.
+	for _, id := range ids[:total-2] {
+		code, events := getBody(t, fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("events for evicted run %s: %d", id, code)
+		}
+		if events != eventLogs[id] {
+			t.Errorf("run %s replay differs from the live log (%d vs %d bytes)",
+				id, len(events), len(eventLogs[id]))
+		}
+	}
+
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+
+	// Restart over the same directory: history survives, replays stay
+	// byte-identical, and new run ids continue past the stored sequence.
+	s2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	code, runsRaw = getBody(t, ts2.URL+"/v1/runs")
+	if code != http.StatusOK {
+		t.Fatalf("runs after restart: %d", code)
+	}
+	runs = nil
+	if err := json.Unmarshal([]byte(runsRaw), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != total {
+		t.Fatalf("restart lists %d runs, want %d: %s", len(runs), total, runsRaw)
+	}
+	for _, id := range ids {
+		code, events := getBody(t, fmt.Sprintf("%s/v1/runs/%s/events", ts2.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("events for %s after restart: %d", id, code)
+		}
+		if events != eventLogs[id] {
+			t.Errorf("run %s replay changed across restart (%d vs %d bytes)",
+				id, len(events), len(eventLogs[id]))
+		}
+	}
+
+	var wv server.WeaveResponse
+	code, raw := postJSON(t, ts2.URL+"/v1/weave", server.WeaveRequest{Source: src}, &wv)
+	if code != http.StatusOK {
+		t.Fatalf("weave after restart: %d %s", code, raw)
+	}
+	if want := fmt.Sprintf("weave-%06d", total+1); wv.RunID != want {
+		t.Errorf("post-restart run id %s, want %s (sequence must continue)", wv.RunID, want)
+	}
+	if err := s2.Shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

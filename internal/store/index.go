@@ -1,0 +1,226 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// maxLineBytes bounds one segment line during scans; anything longer
+// is treated as corruption (the writer never produces lines near it).
+const maxLineBytes = 8 << 20
+
+const indexVersion = 1
+
+// segmentIndex is the sparse sidecar index of one segment: per run,
+// the byte range its records span plus enough metadata to answer
+// /v1/runs without touching the segment; per segment, the wall-clock
+// range of the runs that began in it for time-range pruning.
+type segmentIndex struct {
+	Version int         `json:"version"`
+	Segment string      `json:"segment"`
+	Size    int64       `json:"size"` // segment bytes the index covers
+	Records int         `json:"records"`
+	MinWall time.Time   `json:"min_wall,omitempty"`
+	MaxWall time.Time   `json:"max_wall,omitempty"`
+	Runs    []*runEntry `json:"runs"`
+
+	byID map[string]*runEntry // writer-side lookup; rebuilt lazily
+}
+
+// runEntry is one run's slice of one segment. First/End bound every
+// record of the run in this segment (other runs' records interleave
+// inside the range; readers filter by run id), so an event replay
+// seeks straight to First instead of scanning the segment head.
+type runEntry struct {
+	ID     string    `json:"id"`
+	Seq    int64     `json:"seq,omitempty"`
+	Kind   string    `json:"kind,omitempty"`
+	Began  time.Time `json:"began,omitempty"`
+	First  int64     `json:"first"`
+	End    int64     `json:"end"`
+	Events int       `json:"events,omitempty"`
+	Done   bool      `json:"done,omitempty"`
+	OK     bool      `json:"ok,omitempty"`
+	Err    string    `json:"err,omitempty"`
+	Proc   string    `json:"proc,omitempty"`
+}
+
+func newSegmentIndex(segment string) *segmentIndex {
+	return &segmentIndex{
+		Version: indexVersion,
+		Segment: segment,
+		byID:    map[string]*runEntry{},
+	}
+}
+
+// observe folds one record at [off, off+n) into the index.
+func (x *segmentIndex) observe(rec record, off, n int64) {
+	x.Records++
+	re, ok := x.byID[rec.Run]
+	if !ok {
+		re = &runEntry{ID: rec.Run, First: off}
+		x.byID[rec.Run] = re
+		x.Runs = append(x.Runs, re)
+	}
+	re.End = off + n
+	switch rec.T {
+	case recBegin:
+		re.Seq, re.Kind, re.Began = rec.Seq, rec.Kind, rec.Wall
+		if x.MinWall.IsZero() || rec.Wall.Before(x.MinWall) {
+			x.MinWall = rec.Wall
+		}
+		if rec.Wall.After(x.MaxWall) {
+			x.MaxWall = rec.Wall
+		}
+	case recEvent:
+		re.Events++
+	case recFinish:
+		re.Done, re.OK, re.Err, re.Proc = true, rec.OK, rec.Err, rec.Proc
+	}
+}
+
+// buildIndex scans a segment and indexes its longest valid line
+// prefix. It returns the index and the prefix size in bytes; a
+// malformed or torn line simply ends the prefix (corruption is the
+// caller's concern: recovery quarantines it, sealed-segment rebuilds
+// serve the prefix).
+func buildIndex(path string) (*segmentIndex, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	defer f.Close()
+	idx := newSegmentIndex(filepath.Base(path))
+	br := bufio.NewReaderSize(f, 64<<10)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// io.EOF with a partial line is a torn tail; any other
+			// read error likewise ends the valid prefix.
+			break
+		}
+		var rec record
+		if int64(len(line)) > maxLineBytes || json.Unmarshal(line, &rec) != nil || !rec.valid() {
+			break
+		}
+		idx.observe(rec, off, int64(len(line)))
+		off += int64(len(line))
+	}
+	idx.Size = off
+	return idx, off, nil
+}
+
+// loadOrRebuildIndex returns a sealed segment's sidecar index,
+// rebuilding (and best-effort rewriting) it when the sidecar is
+// missing, unparseable, from another version, or does not match the
+// segment's current size — a sidecar is a cache, never trusted over
+// the segment bytes.
+func (s *Store) loadOrRebuildIndex(path string) (*segmentIndex, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	if data, err := os.ReadFile(indexPath(path)); err == nil {
+		var idx segmentIndex
+		if json.Unmarshal(data, &idx) == nil &&
+			idx.Version == indexVersion &&
+			idx.Segment == filepath.Base(path) &&
+			idx.Size == st.Size() &&
+			idx.coherent() {
+			return &idx, nil
+		}
+	}
+	idx, _, err := buildIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	if werr := s.writeIndex(path, idx); werr != nil {
+		s.degrade(werr)
+	}
+	return idx, nil
+}
+
+// coherent sanity-checks a loaded sidecar: every run range must lie
+// inside the covered size and be well-formed, so a corrupted sidecar
+// cannot send readers past the segment or into negative seeks.
+func (x *segmentIndex) coherent() bool {
+	for _, re := range x.Runs {
+		if re == nil || re.ID == "" || re.First < 0 || re.End < re.First || re.End > x.Size || re.Events < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// writeIndex atomically replaces a segment's sidecar index (write to
+// a temp name through the store's file layer, then rename).
+func (s *Store) writeIndex(segPath string, idx *segmentIndex) error {
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("store: index %s: %w", indexPath(segPath), err)
+	}
+	tmp := indexPath(segPath) + ".tmp"
+	os.Remove(tmp)
+	f, err := s.opts.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("store: index %s: %w", tmp, err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: index %s: %w", tmp, err)
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: index %s: %w", tmp, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: index %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, indexPath(segPath)); err != nil {
+		return fmt.Errorf("store: index %s: %w", indexPath(segPath), err)
+	}
+	return nil
+}
+
+// readRunEvents replays one run's event payloads from segment bytes
+// [first, end). A malformed line ends the read with the valid prefix
+// plus an error naming the segment and offset.
+func readRunEvents(path, id string, first, end int64) ([]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(first, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("store: segment %s: offset %d: %w", path, first, err)
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	var out []json.RawMessage
+	off := first
+	for off < end {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return out, fmt.Errorf("store: segment %s: offset %d: torn line: %w", path, off, err)
+		}
+		var rec record
+		if int64(len(line)) > maxLineBytes || json.Unmarshal(line, &rec) != nil || !rec.valid() {
+			return out, fmt.Errorf("store: segment %s: offset %d: malformed record", path, off)
+		}
+		if rec.Run == id && rec.T == recEvent {
+			out = append(out, rec.Ev)
+		}
+		off += int64(len(line))
+	}
+	return out, nil
+}

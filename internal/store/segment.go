@@ -1,0 +1,196 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment naming: the log lives as seg-00000001.jsonl … seg-N.jsonl,
+// each sealed segment with a seg-N.idx sidecar; a quarantined torn
+// tail (crash recovery) lands next to its segment as
+// seg-N.jsonl.quarantine.
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".jsonl"
+)
+
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix))
+}
+
+func indexPath(segPath string) string {
+	return strings.TrimSuffix(segPath, segSuffix) + ".idx"
+}
+
+func quarantinePath(segPath string) string { return segPath + ".quarantine" }
+
+// segNumber parses a segment file name back to its number.
+func segNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if n, ok := segNumber(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// segmentMeta is one sealed segment with its loaded index.
+type segmentMeta struct {
+	n    int
+	path string
+	idx  *segmentIndex
+}
+
+// activeSegment is the segment currently being appended to. Its index
+// is built incrementally so sealing never rescans the file.
+type activeSegment struct {
+	n    int
+	path string
+	f    File
+	w    *bufio.Writer
+	size int64
+	idx  *segmentIndex
+}
+
+// openActive starts a fresh active segment numbered n; callers hold
+// s.mu (or are Open).
+func (s *Store) openActive(n int) error {
+	path := s.segPath(n)
+	f, err := s.opts.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	s.active = &activeSegment{
+		n: n, path: path, f: f,
+		w:   bufio.NewWriterSize(f, 64<<10),
+		idx: newSegmentIndex(filepath.Base(path)),
+	}
+	return nil
+}
+
+// append buffers one framed line.
+func (a *activeSegment) append(line []byte) error {
+	n, err := a.w.Write(line)
+	a.size += int64(n)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// observe folds one appended record into the incremental index.
+func (a *activeSegment) observe(rec record, off, n int64) {
+	a.idx.observe(rec, off, n)
+}
+
+// flush pushes buffered lines to the OS, optionally fsyncing.
+func (a *activeSegment) flush(sync bool) error {
+	if a.f == nil {
+		return fmt.Errorf("segment closed")
+	}
+	if err := a.w.Flush(); err != nil {
+		return err
+	}
+	if sync {
+		if err := a.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealActiveLocked flushes, fsyncs (when configured), writes the
+// sidecar index and closes the active segment, moving it onto the
+// sealed chain. Callers hold s.mu.
+func (s *Store) sealActiveLocked() error {
+	a := s.active
+	if err := a.flush(s.opts.Fsync); err != nil {
+		return fmt.Errorf("store: segment %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		return fmt.Errorf("store: segment %s: %w", a.path, err)
+	}
+	a.f = nil
+	a.idx.Size = a.size
+	if err := s.writeIndex(a.path, a.idx); err != nil {
+		return err
+	}
+	s.sealed = append(s.sealed, &segmentMeta{n: a.n, path: a.path, idx: a.idx})
+	s.active = nil
+	return nil
+}
+
+// recoverSegment recovers the segment that was active at crash time:
+// it scans for the longest valid line prefix, quarantines everything
+// past it (torn tail, half-written line, or post-corruption bytes)
+// into the .quarantine sidecar, truncates the segment to the valid
+// prefix and seals it with a freshly built index. The recovered
+// segment is never appended to again.
+func (s *Store) recoverSegment(path string) (*segmentIndex, error) {
+	idx, validSize, err := buildIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	if tail := st.Size() - validSize; tail > 0 {
+		if err := s.quarantineTail(path, validSize, tail); err != nil {
+			return nil, err
+		}
+		s.mQuarantined.Add(tail)
+	}
+	idx.Size = validSize
+	if err := s.writeIndex(path, idx); err != nil {
+		// The index is a cache: a store that can replay but not write
+		// starts up read-only-degraded rather than failing Open.
+		s.degrade(err)
+	}
+	return idx, nil
+}
+
+// quarantineTail copies segment bytes [off, off+n) to the quarantine
+// sidecar and truncates the segment to off.
+func (s *Store) quarantineTail(path string, off, n int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", path, err)
+	}
+	defer f.Close()
+	tail := make([]byte, n)
+	if _, err := f.ReadAt(tail, off); err != nil {
+		return fmt.Errorf("store: quarantine %s: offset %d: %w", path, off, err)
+	}
+	if err := os.WriteFile(quarantinePath(path), tail, 0o644); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", path, err)
+	}
+	if err := os.Truncate(path, off); err != nil {
+		return fmt.Errorf("store: quarantine %s: truncate to %d: %w", path, off, err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Load-tests a live dscweaverd with dscbench and writes BENCH_load.json:
+# per-op-class latency percentiles (weave / simulate / runs / events),
+# throughput, error and shed counts, and the daemon's RSS.
+#
+# The daemon runs with a persistent run store, so the bench also
+# exercises the segment append path and the store-backed history reads.
+# After the bench the script asserts the run survived sanely: nonzero
+# requests, zero hard errors, segments on disk, and a daemon that still
+# answers /healthz.
+#
+#   scripts/load.sh [output.json] [port]
+#
+# LOAD_DURATION (default 30s), LOAD_CLIENTS (default 8) and LOAD_MIX
+# (default read-heavy) tune the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_load.json}"
+port="${2:-8429}"
+base="http://127.0.0.1:${port}"
+duration="${LOAD_DURATION:-30s}"
+clients="${LOAD_CLIENTS:-8}"
+mix="${LOAD_MIX:-read-heavy}"
+tmp="$(mktemp -d)"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/dscweaverd" ./cmd/dscweaverd
+go build -o "$tmp/dscbench" ./cmd/dscbench
+
+"$tmp/dscweaverd" -addr "127.0.0.1:${port}" -store-dir "$tmp/store" &
+pid=$!
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "$base/healthz" | grep -q '"ok"' || { echo "healthz never came up"; exit 1; }
+
+"$tmp/dscbench" -addr "$base" -clients "$clients" -duration "$duration" \
+    -mix "$mix" -rss-pid "$pid" -out "$out"
+
+# The daemon must still be live after the thrash, and the store must
+# have taken the writes.
+curl -fsS "$base/healthz" | grep -q '"ok"' || { echo "daemon dead after load"; exit 1; }
+ls "$tmp"/store/seg-*.jsonl >/dev/null 2>&1 || { echo "store wrote no segments"; exit 1; }
+
+python3 - "$out" <<'PY'
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+assert rep["requests"] > 0, rep
+errors = {c: op["errors"] for c, op in rep["ops"].items()}
+assert sum(errors.values()) == 0, f"hard errors under load: {errors}"
+served = sum(op["count"] for op in rep["ops"].values())
+assert served > 0, rep
+for c, op in rep["ops"].items():
+    if op["count"]:
+        assert 0 < op["p50_ms"] <= op["p95_ms"] <= op["p99_ms"] <= op["max_ms"], (c, op)
+print(f"load ok: {rep['requests']} requests, "
+      f"{rep['throughput_rps']:.0f} req/s, "
+      f"weave p95 {rep['ops']['weave']['p95_ms']:.1f}ms, "
+      f"rss {rep.get('rss_bytes', 0) // (1 << 20)}MiB")
+PY
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then echo "server did not drain"; exit 1; fi
+echo "wrote $out"
