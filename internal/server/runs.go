@@ -15,7 +15,10 @@ type RunSummary struct {
 	Kind    string    `json:"kind"` // "weave" or "simulate"
 	Process string    `json:"process,omitempty"`
 	Began   time.Time `json:"began"`
-	// Status is "running", "ok" or "error".
+	// Status is "running", "ok", "error" or "interrupted" — the last
+	// for stored runs that never wrote a finish record (a crash, or an
+	// eviction of the writing process): nothing is executing them, so
+	// they must not read as live.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 	Events int    `json:"events"`
@@ -139,14 +142,17 @@ func (rs *runStore) List() []RunSummary {
 }
 
 // metaSummary renders a store catalog entry in the ring's summary
-// shape, so /v1/runs looks the same whichever layer answers.
+// shape, so /v1/runs looks the same whichever layer answers. It is
+// only reached on a ring miss, so an unfinished stored run has no
+// live writer — after a crash/restart it would otherwise be listed
+// as "running" forever — and surfaces as "interrupted" instead.
 func metaSummary(m store.RunMeta) RunSummary {
 	s := RunSummary{
 		ID:      m.ID,
 		Kind:    m.Kind,
 		Process: m.Proc,
 		Began:   m.Began,
-		Status:  "running",
+		Status:  "interrupted",
 		Events:  m.Events,
 	}
 	if m.Done {

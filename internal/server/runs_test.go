@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"dscweaver/internal/store"
 )
 
 func TestRunStoreEvictionBounded(t *testing.T) {
@@ -114,5 +117,23 @@ func TestRunStoreConcurrentNewGetList(t *testing.T) {
 	}
 	if live != capacity || evicted != writers*perG-capacity {
 		t.Errorf("live=%d evicted=%d, want %d/%d", live, evicted, capacity, writers*perG-capacity)
+	}
+}
+
+// metaSummary is only reached on a ring miss, so an unfinished stored
+// run has no live writer: after a crash/restart it must surface as
+// "interrupted", never as "running" forever.
+func TestMetaSummaryUnfinishedIsInterrupted(t *testing.T) {
+	m := store.RunMeta{ID: "weave-000001", Kind: "weave", Began: time.Unix(1700000000, 0), Events: 3}
+	if got := metaSummary(m).Status; got != "interrupted" {
+		t.Fatalf("unfinished stored run status = %q, want interrupted", got)
+	}
+	m.Done, m.OK = true, true
+	if got := metaSummary(m).Status; got != "ok" {
+		t.Fatalf("finished ok run status = %q, want ok", got)
+	}
+	m.OK, m.Err = false, "boom"
+	if s := metaSummary(m); s.Status != "error" || s.Error != "boom" {
+		t.Fatalf("finished failed run = %+v, want error/boom", s)
 	}
 }

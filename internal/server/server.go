@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -262,6 +263,9 @@ type Server struct {
 	reqSeconds func(route string, d time.Duration)
 	queueDepth *obs.Gauge   // server_queue_depth
 	shedTotal  *obs.Counter // server_shed_total
+	// eventsTruncated counts /v1/runs/{id}/events replays that hit
+	// store corruption and served only the valid prefix.
+	eventsTruncated *obs.Counter // server_run_events_truncated_total
 }
 
 // New builds a server from cfg. Histogram bucket overrides are applied
@@ -322,6 +326,7 @@ func New(cfg Config) (*Server, error) {
 	s.reqSeconds = func(route string, d time.Duration) { seconds(route).Observe(d.Seconds()) }
 	s.queueDepth = reg.Gauge("server_queue_depth")
 	s.shedTotal = reg.Counter("server_shed_total")
+	s.eventsTruncated = reg.Counter("server_run_events_truncated_total")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -490,25 +495,31 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		memByID[m.ID] = m
 	}
 	stored := s.store.ListRange(from, to, limit)
-	seen := make(map[string]bool, len(stored))
-	out := make([]RunSummary, 0, len(stored))
+	out := make([]RunSummary, 0, len(stored)+len(mem))
+	listed := make(map[string]bool, len(stored))
 	for _, sm := range stored {
-		seen[sm.ID] = true
+		listed[sm.ID] = true
 		if m, ok := memByID[sm.ID]; ok {
 			out = append(out, m)
 		} else {
 			out = append(out, metaSummary(sm))
 		}
 	}
-	// Ring entries the store never saw (degraded memory-only mode) are
-	// the newest runs: they lead the list.
-	var head []RunSummary
+	// Ring entries with no store catalog entry at all (degraded
+	// memory-only mode) still belong in the list. Membership must be
+	// checked against the store itself, not the limit-capped listing:
+	// a ring run ranked below the limit is absent from `stored` yet
+	// persisted, and treating it as store-unseen would let old runs
+	// displace the true newest ones.
 	for _, m := range mem {
-		if !seen[m.ID] && inRange(m.Began) {
-			head = append(head, m)
+		if listed[m.ID] || !inRange(m.Began) {
+			continue
+		}
+		if _, ok := s.store.Get(m.ID); !ok {
+			out = append(out, m)
 		}
 	}
-	out = append(head, out...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Began.After(out[j].Began) })
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
@@ -523,7 +534,8 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 // store — which serves the exact bytes that were appended, so a
 // replay is byte-identical across eviction and restarts. A store read
 // that hits corruption serves the valid prefix (never a half-written
-// line) and closes the stream.
+// line) with an `X-Dscweaver-Truncated: true` header so clients can
+// tell a partial replay from a complete one.
 func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if rn, ok := s.runs.Get(id); ok {
@@ -538,10 +550,17 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		if _, ok := s.store.Get(id); ok {
-			evs, _ := s.store.Events(id) // valid prefix on error
+			evs, err := s.store.Events(id)
 			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err != nil {
+				// The flushed prefix still serves, but a partial replay
+				// must never masquerade as the complete log: flag it on
+				// the response and count it.
+				w.Header().Set("X-Dscweaver-Truncated", "true")
+				s.eventsTruncated.Inc()
+			}
 			for _, raw := range evs {
-				if _, err := w.Write(append(raw, '\n')); err != nil {
+				if _, werr := w.Write(append(raw, '\n')); werr != nil {
 					return
 				}
 			}

@@ -7,8 +7,12 @@ package server_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -145,5 +149,121 @@ func TestServerStoreBeyondRingAndRestart(t *testing.T) {
 	}
 	if err := s2.Shutdown(); err != nil {
 		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestServerRunsLimitNewestFirstWithLargeRing: with a store attached
+// and every run still resident in the in-memory ring, ?limit=N must
+// return the N newest runs. A previous merge classified ring entries
+// by absence from the limit-capped store listing, so any limit below
+// the ring population returned the oldest runs instead — exactly the
+// queries dscbench issues (?limit=50, ?limit=1).
+func TestServerRunsLimitNewestFirstWithLargeRing(t *testing.T) {
+	src := purchasingSource(t)
+	cfg := server.Config{StoreDir: t.TempDir()} // default ring (128) keeps every run
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown()
+
+	const total = 5
+	var ids []string
+	for i := 0; i < total; i++ {
+		var wv server.WeaveResponse
+		code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &wv)
+		if code != http.StatusOK {
+			t.Fatalf("weave %d: %d %s", i, code, raw)
+		}
+		ids = append(ids, wv.RunID)
+	}
+	for _, limit := range []int{1, 3} {
+		code, raw := getBody(t, fmt.Sprintf("%s/v1/runs?limit=%d", ts.URL, limit))
+		if code != http.StatusOK {
+			t.Fatalf("limit=%d: %d", limit, code)
+		}
+		var runs []server.RunSummary
+		if err := json.Unmarshal([]byte(raw), &runs); err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != limit {
+			t.Fatalf("limit=%d returned %d runs: %s", limit, len(runs), raw)
+		}
+		for i, r := range runs {
+			if want := ids[total-1-i]; r.ID != want {
+				t.Errorf("limit=%d run %d = %s, want %s (newest first)", limit, i, r.ID, want)
+			}
+		}
+	}
+}
+
+// TestRunEventsCorruptionFlagsTruncation: a sealed segment corrupted
+// in place (size unchanged, so its sidecar index stays trusted) must
+// not serve a silently truncated event log — the replay returns the
+// valid prefix with 200 plus an X-Dscweaver-Truncated header.
+func TestRunEventsCorruptionFlagsTruncation(t *testing.T) {
+	src := purchasingSource(t)
+	dir := t.TempDir()
+	cfg := server.Config{
+		StoreDir:          dir,
+		StoreSegmentBytes: 512, // force the run across several segments
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	var wv server.WeaveResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/weave", server.WeaveRequest{Source: src}, &wv); code != http.StatusOK {
+		t.Fatalf("weave: %d %s", code, raw)
+	}
+	_, full := getBody(t, fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, wv.RunID))
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// Zero a byte midway through the FIRST segment: it is sealed (not
+	// the crash-recovery tail), so Open trusts its sidecar and the
+	// corruption is only discovered by the replay read itself.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %v (err %v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] = 0x00
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Shutdown()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/events", ts2.URL, wv.RunID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupted replay: %d, want 200 with the valid prefix", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Dscweaver-Truncated"); got != "true" {
+		t.Fatalf("X-Dscweaver-Truncated = %q, want \"true\"", got)
+	}
+	if len(body) >= len(full) || !strings.HasPrefix(full, string(body)) {
+		t.Fatalf("corrupted replay served %d bytes, want a strict prefix of the %d-byte log", len(body), len(full))
 	}
 }

@@ -247,6 +247,15 @@ func (s *Store) absorbIndex(seg int, idx *segmentIndex) {
 	for _, re := range idx.Runs {
 		rs, ok := s.runs[re.ID]
 		if !ok {
+			if re.Seq == 0 && re.Kind == "" && re.Began.IsZero() {
+				// An orphaned slice: this segment holds only event or
+				// finish records of a run whose begin segment was
+				// compacted away (segments absorb oldest-first, so a
+				// surviving begin would already have an entry). The run
+				// can never replay completely — skip it rather than
+				// resurrect a ghost with zero Began and empty Kind.
+				continue
+			}
 			rs = &runState{meta: RunMeta{
 				ID: re.ID, Seq: re.Seq, Kind: re.Kind, Began: re.Began,
 			}}
@@ -396,6 +405,14 @@ func (s *Store) appendLocked(rec record, flush bool) bool {
 		s.degrade(fmt.Errorf("store: no active segment"))
 		return false
 	}
+	// Only a begin record may open a catalog entry. An event/finish
+	// for a run compaction already dropped (its begin segment is gone,
+	// so it can never replay completely again) is refused outright:
+	// appending it would plant a ghost run — zero Began, empty Kind —
+	// in the catalog and on disk.
+	if _, ok := s.runs[rec.Run]; !ok && rec.T != recBegin {
+		return false
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return false
@@ -426,6 +443,13 @@ func (s *Store) appendLocked(rec record, flush bool) bool {
 	}
 	rs, ok := s.runs[rec.Run]
 	if !ok {
+		if rec.T != recBegin {
+			// The rotation above compacted this run's begin segment
+			// away mid-append. The bytes just written are orphaned;
+			// replay skips them for the same reason (absorbIndex), so
+			// no ghost entry may be created here either.
+			return false
+		}
 		rs = &runState{meta: RunMeta{ID: rec.Run, Began: rec.Wall}}
 		s.runs[rec.Run] = rs
 		s.order = append(s.order, rec.Run)

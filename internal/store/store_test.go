@@ -418,3 +418,79 @@ func TestStoreConcurrentAppenders(t *testing.T) {
 		}
 	}
 }
+
+// TestOrphanAppendsAfterCompaction: once compaction drops a run (its
+// begin segment is gone, so it can never replay completely again),
+// later Emit/Finish calls through its appender must be refused rather
+// than resurrect a ghost catalog entry with zero Began and empty Kind.
+func TestOrphanAppendsAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1: every record rotates into its own segment, so
+	// retention is exercised record by record.
+	s, err := Open(dir, Options{SegmentBytes: 1, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	began := time.Unix(1700000000, 0).UTC()
+	a := s.Begin("weave-000001", 1, "weave", began)             // seg 1
+	a.Emit(obs.Event{Kind: obs.EvActivityStart, Activity: "x"}) // seals seg 1, lands in seg 2
+	s.Begin("weave-000002", 2, "weave", began.Add(time.Second)) // seals seg 2, compacts seg 1 away
+	if _, ok := s.Get("weave-000001"); ok {
+		t.Fatal("run 1 still cataloged after its begin segment was compacted")
+	}
+	// Orphaned appends for the compacted run must not re-create it.
+	a.Emit(obs.Event{Kind: obs.EvActivityStart, Activity: "y"})
+	a.Finish("proc", nil)
+	if _, ok := s.Get("weave-000001"); ok {
+		t.Fatal("orphaned event/finish appends resurrected a ghost catalog entry")
+	}
+	for _, m := range s.List(0) {
+		if m.Began.IsZero() || m.Kind == "" {
+			t.Fatalf("ghost run in List: %+v", m)
+		}
+	}
+	if s.Degraded() {
+		t.Fatalf("refusing an orphan append must not degrade the store: %v", s.Err())
+	}
+}
+
+// TestReplaySkipsOrphanedSegmentSlices: retained segments can hold
+// event records of a run whose begin segment compaction already
+// deleted. Replaying the chain must not resurrect such runs as ghost
+// catalog entries (zero Began, empty Kind, Seq 0) in List.
+func TestReplaySkipsOrphanedSegmentSlices(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 1, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	began := time.Unix(1700000000, 0).UTC()
+	a := s.Begin("weave-000001", 1, "weave", began)             // seg 1: run 1 begin
+	a.Emit(obs.Event{Kind: obs.EvActivityStart, Activity: "x"}) // seg 2: run 1 event
+	s.Begin("weave-000002", 2, "weave", began.Add(time.Second)) // seg 3; compacts seg 1, drops run 1
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// On disk: seg 2 (run 1's orphaned event slice) and seg 3 (run 2's
+	// begin). Reopen with laxer retention so nothing compacts at Open
+	// and the orphaned slice is actually replayed.
+	s2, err := Open(dir, Options{SegmentBytes: 1, MaxSegments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("weave-000001"); ok {
+		t.Fatal("replay resurrected a run whose begin segment was compacted")
+	}
+	list := s2.List(0)
+	if len(list) != 1 || list[0].ID != "weave-000002" {
+		t.Fatalf("List after reopen: %+v, want run 2 only", list)
+	}
+	if list[0].Began.IsZero() || list[0].Kind != "weave" || list[0].Seq != 2 {
+		t.Fatalf("run 2 metadata lost across reopen: %+v", list[0])
+	}
+	if got := s2.MaxSeq(); got != 2 {
+		t.Fatalf("MaxSeq after reopen: %d, want 2", got)
+	}
+}
