@@ -27,6 +27,10 @@
 //	               disable speculative candidate batches (ablation)
 //	-run           execute the minimal set with no-op activities and
 //	               print the trace
+//	-decentral N   partition the minimal set across at most N hosts
+//	               (-1 = no cap) and print the placement; with -run,
+//	               execute one engine per partition and report measured
+//	               vs predicted cross-host message counts
 //	-metrics FILE  write Prometheus-style metrics for the run ("-" = stdout)
 //	-events FILE   write the JSONL lifecycle event log ("-" = stdout)
 //	-v             print every pipeline stage
@@ -45,6 +49,7 @@ import (
 	"dscweaver/internal/core"
 	"dscweaver/internal/decentral"
 	"dscweaver/internal/dscl"
+	"dscweaver/internal/enact"
 	"dscweaver/internal/obs"
 	"dscweaver/internal/schedule"
 	"dscweaver/internal/weave"
@@ -62,7 +67,7 @@ func main() {
 	run := flag.Bool("run", false, "execute the minimal set with no-op activities")
 	traceOut := flag.String("trace", "", "with -run, write the execution trace as JSON to this file")
 	dotOut := flag.String("dot", "", "write the minimal constraint graph as Graphviz to this file")
-	decentralize := flag.Bool("decentral", false, "print a decentralized placement of the minimal set across service hosts")
+	decentralize := flag.Int("decentral", 0, "partition the minimal set across at most N hosts and print the placement (0 = off, -1 = natural placement, no cap); with -run, execute one engine per partition and report measured vs predicted message counts")
 	explain := flag.String("explain", "", "explain why constraints were removed: 'all' or a substring of the constraint")
 	parallel := flag.Int("parallel", 0, "minimization worker count (0 = GOMAXPROCS, 1 = sequential); the minimal set is identical for every value")
 	noSpeculation := flag.Bool("no-speculation", false, "disable speculative candidate batches in the parallel minimizer (ablation; the minimal set is identical)")
@@ -175,7 +180,8 @@ func main() {
 		}
 	}
 
-	if *decentralize {
+	var execPlan *decentral.Plan
+	if *decentralize != 0 {
 		cmp, err := decentral.Compare(asc, min.Minimal, decentral.Pin(proc))
 		if err != nil {
 			fail(err)
@@ -183,6 +189,18 @@ func main() {
 		fmt.Printf("decentralized placement (minimal set):\n%s", cmp.Minimal)
 		fmt.Printf("cross-host messages: unoptimized=%d minimal=%d saved=%d\n",
 			cmp.Unoptimized.CrossEdges, cmp.Minimal.CrossEdges, cmp.MessageSavings())
+		// The executable plan: exclusive groups co-located, hosts capped
+		// at N (-1 = no cap).
+		execPlan = cmp.Minimal
+		if execPlan, err = decentral.CoLocate(min.Minimal, execPlan); err != nil {
+			fail(err)
+		}
+		if execPlan, err = decentral.Fold(min.Minimal, execPlan, *decentralize); err != nil {
+			fail(err)
+		}
+		if len(execPlan.Hosts) != len(cmp.Minimal.Hosts) {
+			fmt.Printf("normalized to %d hosts:\n%s", len(execPlan.Hosts), execPlan)
+		}
 	}
 
 	if *dotOut != "" {
@@ -207,13 +225,26 @@ func main() {
 
 	if *run {
 		execs := schedule.NoopExecutors(proc, time.Millisecond, nil)
-		eng, err := schedule.New(min.Minimal, execs, schedule.Options{Guards: res.Guards, Timeout: 30 * time.Second, Metrics: reg, Events: sink})
-		if err != nil {
-			fail(err)
-		}
-		tr, err := eng.Run(ctx)
-		if err != nil {
-			fail(err)
+		var tr *schedule.Trace
+		if execPlan != nil {
+			out, err := enact.Run(ctx, enact.Options{
+				Plan: execPlan, Set: min.Minimal, Guards: res.Guards, Execs: execs,
+				Timeout: 30 * time.Second, Metrics: reg, Events: sink,
+			})
+			if err != nil {
+				fail(err)
+			}
+			tr = out.Trace
+			fmt.Printf("decentralized run: %d hosts, %d edge messages (plan predicts %d), %d outcome broadcasts\n",
+				len(out.Plan.Hosts), out.Stats.EdgeMessages, out.Plan.CrossEdges, out.Stats.OutcomeMessages)
+		} else {
+			eng, err := schedule.New(min.Minimal, execs, schedule.Options{Guards: res.Guards, Timeout: 30 * time.Second, Metrics: reg, Events: sink})
+			if err != nil {
+				fail(err)
+			}
+			if tr, err = eng.Run(ctx); err != nil {
+				fail(err)
+			}
 		}
 		if err := tr.Validate(asc, res.Guards); err != nil {
 			fail(err)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"dscweaver/internal/obs"
 	"dscweaver/internal/store"
 )
 
@@ -45,9 +46,23 @@ type chaosFile struct {
 	f   store.File
 }
 
+// diskHealed reports whether the configured heal threshold has been
+// reached: past it the "device" works again and no disk fault class
+// injects.
+func (in *Injector) diskHealed() bool {
+	if in.cfg.DiskHealAfter <= 0 {
+		return false
+	}
+	total := in.diskErrors.Load() + in.diskShortWrites.Load() + in.diskSyncFaults.Load()
+	return total >= in.cfg.DiskHealAfter
+}
+
 func (c *chaosFile) Write(p []byte) (int, error) {
 	in := c.in
 	attempt := in.next(c.key)
+	if in.diskHealed() {
+		return c.f.Write(p)
+	}
 	switch u := in.draw("disk", c.key, attempt); {
 	case u < in.cfg.DiskErrorP:
 		in.diskErrors.Add(1)
@@ -66,7 +81,7 @@ func (c *chaosFile) Write(p []byte) (int, error) {
 
 func (c *chaosFile) Sync() error {
 	in := c.in
-	if in.cfg.DiskSyncFaultP > 0 &&
+	if in.cfg.DiskSyncFaultP > 0 && !in.diskHealed() &&
 		in.draw("disk_sync", c.key, in.next(c.key+"#sync")) < in.cfg.DiskSyncFaultP {
 		in.diskSyncFaults.Add(1)
 		return fmt.Errorf("chaos: fsync %s (seed %d): %w", c.key, in.cfg.Seed, ErrDisk)
@@ -77,3 +92,17 @@ func (c *chaosFile) Sync() error {
 // Close never injects: a store that cannot close files would leak
 // descriptors across a 12-seed suite without testing anything new.
 func (c *chaosFile) Close() error { return c.f.Close() }
+
+// OpenLogFile returns an obs.RotateOptions.OpenFile injecting the same
+// seeded disk faults as OpenFile, keyed "log/<basename>". The rotating
+// JSONL sink must stay live under it: a faulted write drops (and
+// counts) exactly that event, never latching the sink dead.
+func (in *Injector) OpenLogFile() func(path string) (obs.LogFile, error) {
+	return func(path string) (obs.LogFile, error) {
+		f, err := store.OSOpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &chaosFile{in: in, key: "log/" + filepath.Base(path), f: f}, nil
+	}
+}

@@ -1,0 +1,167 @@
+// Rotating event-log chaos: the obs.RotatingJSONL sink writing
+// through the injector's faulting file layer. The contract under
+// disk faults is drop-and-continue, never latch-and-die: each faulted
+// write loses exactly that one event (counted by Dropped and the
+// log_dropped_total metric), every event whose write succeeded is on
+// disk, and a daemon logging through the sink stays fully live.
+package chaos_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dscweaver/internal/chaos"
+	"dscweaver/internal/chaos/leak"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/server"
+)
+
+// validLogLines counts the lines across the active file and every
+// rotated generation that still parse as JSON. A torn half-line (and
+// the one event a successful write glued onto it) parses as garbage
+// and is excluded.
+func validLogLines(t *testing.T, path string, maxFiles int) int {
+	t.Helper()
+	n := 0
+	names := []string{path}
+	for i := 1; i <= maxFiles; i++ {
+		names = append(names, fmt.Sprintf("%s.%d", path, i))
+	}
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			if json.Valid(sc.Bytes()) {
+				n++
+			}
+		}
+		f.Close()
+	}
+	return n
+}
+
+func TestChaosRotatingLog(t *testing.T) {
+	const total = 400
+	sweptFaults := int64(0)
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		inj := chaos.New(chaos.Config{
+			Seed:            seed,
+			DiskErrorP:      0.08,
+			DiskShortWriteP: 0.05,
+		})
+		reg := obs.NewRegistry()
+		path := filepath.Join(t.TempDir(), "events.jsonl")
+		// MaxBytes small enough that rotation happens dozens of times,
+		// MaxFiles large enough that retention never deletes a
+		// generation — every non-dropped event must be accountable.
+		r, err := obs.NewRotatingJSONL(path, obs.RotateOptions{
+			MaxBytes: 2 << 10,
+			MaxFiles: 64,
+			OpenFile: inj.OpenLogFile(),
+			Metrics:  reg,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: faulty disk must not fail sink construction: %v", seed, err)
+		}
+		for i := 0; i < total; i++ {
+			r.Emit(obs.Event{Layer: obs.LayerEngine, Kind: obs.EvActivityStart,
+				Activity: fmt.Sprintf("a_%03d", i), Seq: i + 1})
+		}
+		st := inj.Stats()
+		faults := st.DiskErrors + st.DiskShortWrites
+		sweptFaults += faults
+		dropped := r.Dropped()
+
+		// Drop-and-continue, exactly: one faulted write loses one event
+		// and nothing else. A latched sink would instead lose every
+		// event after the first fault, breaking the equality (and the
+		// on-disk line count below).
+		if dropped != faults {
+			t.Errorf("seed %d: Dropped() = %d, want %d (one per injected fault)", seed, dropped, faults)
+		}
+		if got := reg.Counter("log_dropped_total").Value(); got != dropped {
+			t.Errorf("seed %d: log_dropped_total = %d, want %d", seed, got, dropped)
+		}
+
+		// Everything that was not dropped or glued to a torn fragment is
+		// on disk as clean JSONL.
+		got := validLogLines(t, path, 64)
+		min := total - int(dropped) - int(st.DiskShortWrites)
+		if got < min {
+			t.Errorf("seed %d: %d valid lines on disk, want >= %d (total %d, dropped %d, torn %d)",
+				seed, got, min, total, dropped, st.DiskShortWrites)
+		}
+
+		// The first error still surfaces at Close for operators.
+		if err := r.Close(); (err != nil) != (faults > 0) {
+			t.Errorf("seed %d: Close() = %v with %d faults", seed, err, faults)
+		}
+	})
+	if len(seeds()) > 1 && sweptFaults == 0 {
+		t.Error("sweep injected no log faults — probabilities too low to test anything")
+	}
+}
+
+// TestChaosRotatingLogServerLive routes a daemon's rotating event log
+// through the faulting layer: requests must keep succeeding, /healthz
+// must stay green, and the dropped events must be visible on /metrics.
+func TestChaosRotatingLogServerLive(t *testing.T) {
+	leak.Check(t)
+	inj := chaos.New(chaos.Config{Seed: 1, DiskErrorP: 0.08, DiskShortWriteP: 0.05})
+	s, err := server.New(server.Config{
+		EventsPath:  filepath.Join(t.TempDir(), "events.jsonl"),
+		LogMaxBytes: 4 << 10,
+		LogOpenFile: inj.OpenLogFile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{"source": %q}`, purchasingSource(t))
+		resp, err := http.Post(ts.URL+"/v1/weave", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("weave %d = %d, want 200 (log faults must not fail requests)", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d after log faults, want 200", resp.StatusCode)
+	}
+
+	st := inj.Stats()
+	faults := st.DiskErrors + st.DiskShortWrites
+	if got := s.Registry().Counter("log_dropped_total").Value(); got != faults {
+		t.Errorf("log_dropped_total = %d, want %d (injected faults)", got, faults)
+	}
+	if faults == 0 {
+		t.Skip("seed 1 injected no log faults at these probabilities")
+	}
+	if err := s.Shutdown(); err == nil {
+		t.Error("Shutdown must surface the first log fault")
+	}
+}

@@ -1,0 +1,115 @@
+// Store degrade re-probe chaos: a dscweaverd whose disk fails every
+// write until the injector's heal threshold, then recovers. The store
+// must latch degraded (memory-only) without failing requests, the
+// background re-probe must clear the latch in place — no restart —
+// and the runs that finished during the fault window must backfill
+// from the in-memory ring into the healed store.
+package chaos_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dscweaver/internal/chaos"
+	"dscweaver/internal/chaos/leak"
+	"dscweaver/internal/server"
+	"dscweaver/internal/store"
+)
+
+func TestStoreReprobeHealsAfterFaults(t *testing.T) {
+	leak.Check(t)
+	inj := chaos.New(chaos.Config{
+		Seed:          7,
+		DiskErrorP:    1, // every write fails...
+		DiskHealAfter: 2, // ...until two faults have fired, then the disk recovers
+	})
+	dir := t.TempDir()
+	s, err := server.New(server.Config{
+		StoreDir:      dir,
+		StoreOpenFile: inj.OpenFile(nil),
+		StoreReprobe:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	weave := func() {
+		t.Helper()
+		body := fmt.Sprintf(`{"source": %q}`, purchasingSource(t))
+		resp, err := http.Post(ts.URL+"/v1/weave", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("weave = %d, want 200 (disk faults must not fail requests)", resp.StatusCode)
+		}
+	}
+
+	// The first run's finish flush hits the dead disk: degrade latches,
+	// the request still succeeds, the run lives only in the ring.
+	weave()
+	reg := s.Registry()
+	if reg.Gauge("store_degraded").Value() != 1 {
+		t.Fatal("store not degraded after a weave against a dead disk")
+	}
+
+	// The re-probe loop must heal without a restart once the injector's
+	// fault budget is spent.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Gauge("store_degraded").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store still degraded after %d reprobes; injector stats %+v",
+				reg.Counter("store_reprobe_total").Value(), inj.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := reg.Counter("store_reprobe_total").Value(); got < 1 {
+		t.Fatalf("store_reprobe_total = %d after a heal, want >= 1", got)
+	}
+
+	// The ring run that finished while degraded backfills into the
+	// healed store.
+	for reg.Counter("server_store_backfill_runs_total").Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("memory-only run never backfilled into the healed store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New runs persist directly again.
+	weave()
+
+	// Both runs — the backfilled one and the post-heal one — survive a
+	// real restart, proving they reached the disk.
+	ts.Close()
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("healed server must shut down cleanly: %v", err)
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, id := range []string{"weave-000001", "weave-000002"} {
+		m, ok := st.Get(id)
+		if !ok {
+			t.Errorf("run %s missing from the healed store after restart", id)
+			continue
+		}
+		if !m.Done || !m.OK {
+			t.Errorf("run %s not recorded finished-ok: %+v", id, m)
+		}
+		if evs, err := st.Events(id); err != nil || len(evs) == 0 {
+			t.Errorf("run %s replay after restart: %d events, err %v", id, len(evs), err)
+		}
+	}
+}

@@ -105,7 +105,23 @@ func Place(sc *core.ConstraintSet, pinned Partition) (*Plan, error) {
 		}
 		part[a.ID] = best
 	}
+	return PlanFor(sc, part)
+}
 
+// PlanFor completes a plan for an explicit, total partition: it counts
+// the local and cross-host edges the assignment implies. Exported for
+// the enactment layer, which rewrites partitions (host caps, exclusive
+// co-location) and for remote nodes executing a partition shipped to
+// them.
+func PlanFor(sc *core.ConstraintSet, part Partition) (*Plan, error) {
+	if sc.HasServiceNodes() {
+		return nil, fmt.Errorf("decentral: constraint set mentions external nodes; translate first")
+	}
+	for _, a := range sc.Proc.Activities() {
+		if part[a.ID] == "" {
+			return nil, fmt.Errorf("decentral: activity %s has no host", a.ID)
+		}
+	}
 	plan := &Plan{Partition: part, Messages: map[[2]string]int{}}
 	hostSet := map[string]bool{}
 	for _, h := range part {
@@ -126,6 +142,101 @@ func Place(sc *core.ConstraintSet, pinned Partition) (*Plan, error) {
 		plan.Messages[[2]string{from, to}]++
 	}
 	return plan, nil
+}
+
+// Fold caps a plan at max hosts: the coordinator plus the first
+// max-1 other hosts (sorted) keep their partitions, and every
+// activity on a folded-away host moves to the coordinator. Folding is
+// deterministic, so distributed nodes derive identical partitions
+// from the same plan and cap. max <= 0 or a plan already within the
+// cap comes back unchanged.
+func Fold(sc *core.ConstraintSet, plan *Plan, max int) (*Plan, error) {
+	if max <= 0 || len(plan.Hosts) <= max {
+		return plan, nil
+	}
+	keep := map[string]bool{CoordinatorHost: true}
+	budget := max - 1
+	for _, h := range plan.Hosts {
+		if h == CoordinatorHost {
+			continue
+		}
+		if budget > 0 {
+			keep[h] = true
+			budget--
+		}
+	}
+	part := Partition{}
+	for id, h := range plan.Partition {
+		if keep[h] {
+			part[id] = h
+		} else {
+			part[id] = CoordinatorHost
+		}
+	}
+	return PlanFor(sc, part)
+}
+
+// CoLocate rewrites a plan so both endpoints of every Exclusive
+// constraint share a host: mutual exclusion is enforced with per-pair
+// mutexes inside one engine, so exclusive-connected activity groups
+// must not straddle partitions. Groups are merged with a union-find
+// and land on the lexicographically smallest host any member was
+// assigned — deterministic, so every node derives the same placement
+// independently. Plans without exclusive constraints come back
+// unchanged.
+func CoLocate(sc *core.ConstraintSet, plan *Plan) (*Plan, error) {
+	var excl []core.Constraint
+	for _, c := range sc.Constraints() {
+		if c.Rel == core.Exclusive {
+			excl = append(excl, c)
+		}
+	}
+	if len(excl) == 0 {
+		return plan, nil
+	}
+	parent := map[core.ActivityID]core.ActivityID{}
+	var find func(core.ActivityID) core.ActivityID
+	find = func(x core.ActivityID) core.ActivityID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, c := range excl {
+		a, b := find(c.From.Node.Activity), find(c.To.Node.Activity)
+		if a != b {
+			parent[a] = b
+		}
+	}
+	// Pick each group's host: the smallest host string any member holds.
+	groupHost := map[core.ActivityID]string{}
+	for id := range parent {
+		root := find(id)
+		h := plan.Partition[id]
+		if cur, ok := groupHost[root]; !ok || h < cur {
+			groupHost[root] = h
+		}
+	}
+	part := Partition{}
+	for id, h := range plan.Partition {
+		part[id] = h
+	}
+	changed := false
+	for id := range parent {
+		h := groupHost[find(id)]
+		if part[id] != h {
+			part[id] = h
+			changed = true
+		}
+	}
+	if !changed {
+		return plan, nil
+	}
+	return PlanFor(sc, part)
 }
 
 // Compare runs Place on both an unoptimized and a minimal constraint

@@ -1,0 +1,91 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/purchasing"
+	"dscweaver/internal/schedule"
+	"dscweaver/internal/services"
+)
+
+// TestPurchasingOverHTTPTransport runs the paper's purchasing process
+// with the scheduling engine on one node and all four services hosted
+// on a second node behind HTTP — the binding is unchanged, only the
+// transport differs. The trace must validate against the full ASC
+// exactly as the in-process bus run does.
+func TestPurchasingOverHTTPTransport(t *testing.T) {
+	_, asc, res, err := purchasing.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards, err := core.DeriveGuards(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node B: hosts the services.
+	remote := services.NewHTTPTransport(services.HTTPConfig{Run: "run-1", Node: "b"})
+	for _, cfg := range services.PurchasingConfigs(time.Millisecond, true) {
+		if err := remote.RegisterLocal(cfg.Name, cfg.Handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f services.Frame
+		if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := remote.Deliver(f)
+		switch {
+		case errors.Is(err, services.ErrRunMismatch):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusNotFound)
+		default:
+			json.NewEncoder(w).Encode(out)
+		}
+	}))
+	defer srv.Close()
+
+	// Node A: the engine, routing every service to node B.
+	routes := map[string]string{}
+	for _, cfg := range services.PurchasingConfigs(0, true) {
+		routes[cfg.Name] = srv.URL
+	}
+	local := services.NewHTTPTransport(services.HTTPConfig{
+		Run: "run-1", Node: "a", Routes: routes,
+		Retry: services.HTTPRetry{MaxAttempts: 8, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	})
+	binding := schedule.NewBinding(local)
+	execs := binding.Executors(asc.Proc, 2*time.Millisecond)
+	e, err := schedule.New(res.Minimal, execs, schedule.Options{
+		Timeout: 10 * time.Second,
+		Guards:  guards,
+		Inputs:  map[string]any{"po": "po-42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr)
+	}
+	local.Close()
+	binding.Close()
+	remote.Close()
+
+	if err := tr.Validate(asc, guards); err != nil {
+		t.Fatalf("trace over HTTP transport violates the full ASC: %v\n%s", err, tr)
+	}
+	if got := tr.Outcomes()["if_au"]; got != "T" {
+		t.Fatalf("if_au branch = %q, want T", got)
+	}
+}

@@ -43,6 +43,9 @@ const (
 	LayerBus      = "bus"
 	LayerMinimize = "minimize"
 	LayerWeave    = "weave"
+	// LayerTransport marks events from non-local transports (the HTTP
+	// transport's invoke/callback/breaker lifecycle).
+	LayerTransport = "transport"
 )
 
 // Event kinds.

@@ -3,10 +3,26 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
 )
+
+// LogFile is the file surface the rotating sink writes through. Tests
+// and the chaos injector substitute faulting implementations via
+// RotateOptions.OpenFile.
+type LogFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osOpenLog is the default RotateOptions.OpenFile: create-or-append on
+// the real filesystem.
+func osOpenLog(path string) (LogFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
 
 // RotateOptions tunes a RotatingJSONL sink. The zero value rotates at
 // 64 MiB, keeps 8 rotated files and never rotates on age.
@@ -21,6 +37,13 @@ type RotateOptions struct {
 	// MaxFiles is the number of rotated files kept as path.1 … path.N,
 	// newest first (default 8). Older files are deleted.
 	MaxFiles int
+	// OpenFile opens (appending) the active log file (nil = the real
+	// filesystem). The chaos injector hooks fault injection here.
+	OpenFile func(path string) (LogFile, error)
+	// Metrics, when set, registers log_dropped_total and
+	// log_rotations_total on the registry so dropped events are
+	// observable, not just countable via Dropped().
+	Metrics *Registry
 }
 
 func (o RotateOptions) withDefaults() RotateOptions {
@@ -30,28 +53,44 @@ func (o RotateOptions) withDefaults() RotateOptions {
 	if o.MaxFiles <= 0 {
 		o.MaxFiles = 8
 	}
+	if o.OpenFile == nil {
+		o.OpenFile = osOpenLog
+	}
 	return o
 }
 
 // RotatingJSONL is a Sink writing one JSON object per line to a file
 // that rotates by size and age: the active log lives at path, rotated
 // generations at path.1 (newest) … path.N. Emit never fails the
-// caller — the first error is latched (observability must not take
-// the process down) and surfaces from Close.
+// caller — observability must not take the process down — but it does
+// not latch dead on the first fault either: a failed write, rotation
+// or reopen drops exactly that event (counted by Dropped and the
+// log_dropped_total metric), records the first error for Close, and
+// the next Emit tries again, reopening the active file if the fault
+// lost it.
 type RotatingJSONL struct {
 	mu        sync.Mutex
 	path      string
 	opts      RotateOptions
-	f         *os.File
+	f         LogFile
 	size      int64
 	born      time.Time
 	err       error
+	dropped   int64
+	closed    bool
 	rotations int
+
+	mDropped   *Counter // nil without RotateOptions.Metrics
+	mRotations *Counter
 }
 
 // NewRotatingJSONL opens (appending) the active log file at path.
 func NewRotatingJSONL(path string, opts RotateOptions) (*RotatingJSONL, error) {
 	r := &RotatingJSONL{path: path, opts: opts.withDefaults()}
+	if m := r.opts.Metrics; m != nil {
+		r.mDropped = m.Counter("log_dropped_total")
+		r.mRotations = m.Counter("log_rotations_total")
+	}
 	if err := r.open(); err != nil {
 		return nil, err
 	}
@@ -59,27 +98,31 @@ func NewRotatingJSONL(path string, opts RotateOptions) (*RotatingJSONL, error) {
 }
 
 // open (re)opens the active file; callers hold r.mu (or are the
-// constructor).
+// constructor). The size resumes from the file on disk so rotation
+// bounds hold across reopens.
 func (r *RotatingJSONL) open() error {
-	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := r.opts.OpenFile(r.path)
 	if err != nil {
 		return fmt.Errorf("obs: rotating log: %w", err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("obs: rotating log: %w", err)
+	size := int64(0)
+	if st, err := os.Stat(r.path); err == nil {
+		size = st.Size()
 	}
 	r.f = f
-	r.size = st.Size()
+	r.size = size
 	r.born = time.Now()
 	return nil
 }
 
 // rotate shifts path.i → path.i+1 (dropping generation MaxFiles) and
-// reopens a fresh active file; callers hold r.mu.
+// reopens a fresh active file; callers hold r.mu. Whatever step fails,
+// r.f is left nil so the next Emit reopens rather than writing through
+// a closed handle.
 func (r *RotatingJSONL) rotate() error {
-	if err := r.f.Close(); err != nil {
+	err := r.f.Close()
+	r.f = nil
+	if err != nil {
 		return err
 	}
 	os.Remove(fmt.Sprintf("%s.%d", r.path, r.opts.MaxFiles))
@@ -95,26 +138,46 @@ func (r *RotatingJSONL) rotate() error {
 		return err
 	}
 	r.rotations++
+	if r.mRotations != nil {
+		r.mRotations.Inc()
+	}
 	return r.open()
 }
 
+// fail records one dropped event and the first error; callers hold
+// r.mu.
+func (r *RotatingJSONL) fail(err error) {
+	r.dropped++
+	if r.mDropped != nil {
+		r.mDropped.Inc()
+	}
+	if r.err == nil {
+		r.err = err
+	}
+}
+
 // Emit appends one event, rotating first if the write would exceed
-// MaxBytes or the active file outlived MaxAge.
+// MaxBytes or the active file outlived MaxAge. A fault drops this
+// event only; the sink stays live for the next.
 func (r *RotatingJSONL) Emit(e Event) {
 	data, err := json.Marshal(e)
 	if err != nil {
 		r.mu.Lock()
-		if r.err == nil {
-			r.err = err
-		}
+		r.fail(err)
 		r.mu.Unlock()
 		return
 	}
 	data = append(data, '\n')
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.err != nil || r.f == nil { // errored or already closed
+	if r.closed {
 		return
+	}
+	if r.f == nil { // lost to an earlier fault: reopen before writing
+		if err := r.open(); err != nil {
+			r.fail(err)
+			return
+		}
 	}
 	needRotate := r.size > 0 && r.size+int64(len(data)) > r.opts.MaxBytes
 	if !needRotate && r.opts.MaxAge > 0 && time.Since(r.born) > r.opts.MaxAge && r.size > 0 {
@@ -122,14 +185,14 @@ func (r *RotatingJSONL) Emit(e Event) {
 	}
 	if needRotate {
 		if err := r.rotate(); err != nil {
-			r.err = fmt.Errorf("obs: rotating log: %w", err)
+			r.fail(fmt.Errorf("obs: rotating log: %w", err))
 			return
 		}
 	}
 	n, err := r.f.Write(data)
 	r.size += int64(n)
 	if err != nil {
-		r.err = fmt.Errorf("obs: rotating log: %w", err)
+		r.fail(fmt.Errorf("obs: rotating log: %w", err))
 	}
 }
 
@@ -140,10 +203,19 @@ func (r *RotatingJSONL) Rotations() int {
 	return r.rotations
 }
 
+// Dropped reports how many events were lost to marshal, write, rotate
+// or reopen faults.
+func (r *RotatingJSONL) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // Close closes the active file and returns the first error seen.
 func (r *RotatingJSONL) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closed = true
 	if r.f != nil {
 		if err := r.f.Close(); err != nil && r.err == nil {
 			r.err = err

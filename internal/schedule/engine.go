@@ -117,6 +117,19 @@ type Options struct {
 	// (obs.LayerEngine); a JSONL log of them rebuilds a validatable
 	// trace via TraceFromEvents.
 	Events obs.Sink
+	// Owned restricts the engine to a partition: only activities it
+	// reports true for execute locally; the others are expected to run
+	// on peer engines, their transitions arriving via Remote. Nil owns
+	// every activity — the single-engine default.
+	Owned func(core.ActivityID) bool
+	// Publish, when set, receives a Note after each local transition
+	// commits (start, finish, skip); the decentralized enactment layer
+	// forwards them to the peers gated on them.
+	Publish func(Note)
+	// Remote feeds transitions committed by peer engines onto this
+	// engine's board. The engine consumes it until the run ends or the
+	// channel closes.
+	Remote <-chan Note
 }
 
 // Engine executes one process instance per Run call.
@@ -246,7 +259,11 @@ type board struct {
 	outcomes map[string]string // decision → branch or SkippedBranch
 	holders  []core.ActivityID // mutex id → holder ("" free)
 	seq      int
-	err      error
+	// clock is the Lamport time of this board: bumped on every local
+	// commit, advanced to the remote stamp on every applied note. Always
+	// touched under mu.
+	clock uint64
+	err   error
 	// errGeneric marks err as the watchdog's context diagnostic; the
 	// first activity-level failure report (which carries the failing
 	// activity and, after cancellation, wraps the same context error)
@@ -339,6 +356,9 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 
 	var wg sync.WaitGroup
 	for _, act := range e.proc.Activities() {
+		if !e.owned(act.ID) {
+			continue
+		}
 		wg.Add(1)
 		go func(act *core.Activity) {
 			defer wg.Done()
@@ -351,6 +371,24 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 	// external cancellation and the Options.Timeout deadline; failures
 	// reach it with b.err already set, making its fail a no-op.
 	done := make(chan struct{})
+	var remoteWG sync.WaitGroup
+	if e.opts.Remote != nil {
+		remoteWG.Add(1)
+		go func() {
+			defer remoteWG.Done()
+			for {
+				select {
+				case n, ok := <-e.opts.Remote:
+					if !ok {
+						return
+					}
+					e.applyRemote(b, n)
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -363,6 +401,7 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 
 	wg.Wait()
 	close(done)
+	remoteWG.Wait()
 
 	b.mu.Lock()
 	err := b.err
@@ -418,10 +457,22 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 		return true
 	}
 
-	// Phase 1: wait until the guard is decidable; skip on false.
+	// Phase 1: wait until the guard is decidable; skip on false. A
+	// skip commits only after every incoming edge has released —
+	// dead-path elimination propagates in graph order, so a skipped
+	// activity still interposes between its predecessors and its
+	// dependents. Minimization relies on this: an edge is removed when
+	// a chain subsumes it in the guard context of its *endpoints*, so
+	// the chain must keep ordering even when an intermediate activity
+	// is dead. (Same waits as a normal start, so no new deadlock.)
 	b.mu.Lock()
 	for b.err == nil && !b.guardDecidable(guard) {
 		b.cond.Wait()
+	}
+	if b.err == nil && !guard.Eval(b.outcomes) {
+		for b.err == nil && !(allReleased(startGate) && allReleased(finishGate)) {
+			b.cond.Wait()
+		}
 	}
 	if b.err != nil {
 		b.mu.Unlock()
@@ -434,12 +485,15 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 		}
 		b.seq++
 		skipSeq := b.seq
+		b.clock++
+		stamp := b.clock
 		tr.recordSkip(act.ID, skipSeq)
 		b.cond.Broadcast()
 		b.mu.Unlock()
 		if e.m != nil {
 			e.m.skipped.Inc()
 		}
+		e.publish(Note{Activity: act.ID, Kind: NoteSkip, Stamp: stamp, Seq: skipSeq, At: time.Now()})
 		e.emit(obs.Event{Kind: obs.EvActivitySkip, Activity: string(act.ID), Seq: skipSeq})
 		return
 	}
@@ -480,6 +534,8 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	startSeq := b.seq
 	b.happened[core.PointOf(act.ID, core.Start)] = startSeq
 	b.happened[core.PointOf(act.ID, core.Run)] = startSeq
+	b.clock++
+	startStamp := b.clock
 	b.running++
 	if b.running > b.maxRun {
 		b.maxRun = b.running
@@ -495,6 +551,7 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 			e.m.slotWait.ObserveDuration(time.Since(slotSince))
 		}
 	}
+	e.publish(Note{Activity: act.ID, Kind: NoteStart, Stamp: startStamp, Seq: startSeq, At: time.Now()})
 	e.emit(obs.Event{Kind: obs.EvActivityStart, Activity: string(act.ID), Seq: startSeq})
 
 	// Phase 3: execute outside the lock, retrying per policy.
@@ -615,6 +672,8 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	b.seq++
 	finSeq := b.seq
 	b.happened[core.PointOf(act.ID, core.Finish)] = finSeq
+	b.clock++
+	finStamp := b.clock
 	if act.Kind == core.KindDecision {
 		b.outcomes[string(act.ID)] = outcome.Branch
 	}
@@ -627,6 +686,8 @@ func (e *Engine) runActivity(ctx context.Context, act *core.Activity, b *board, 
 	if e.m != nil {
 		e.m.finished.Inc()
 	}
+	e.publish(Note{Activity: act.ID, Kind: NoteFinish, Branch: outcome.Branch,
+		Stamp: finStamp, Seq: finSeq, At: time.Now()})
 	e.emit(obs.Event{Kind: obs.EvActivityFinish, Activity: string(act.ID),
 		Seq: finSeq, Branch: outcome.Branch})
 }

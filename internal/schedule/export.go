@@ -82,3 +82,26 @@ func LoadTraceJSON(data []byte) (*Trace, error) {
 	}
 	return t, nil
 }
+
+// NewTraceFromRecords assembles a Trace from externally produced
+// records, in the given order — the decentralized enactment layer
+// merges per-node transition streams into one global trace this way.
+// The result is validatable like any engine-produced trace.
+func NewTraceFromRecords(process string, began, ended time.Time, maxParallel int, recs []Record) (*Trace, error) {
+	t := &Trace{
+		records:     map[core.ActivityID]*Record{},
+		Process:     process,
+		Began:       began,
+		Ended:       ended,
+		MaxParallel: maxParallel,
+	}
+	for _, r := range recs {
+		if _, dup := t.records[r.Activity]; dup {
+			return nil, fmt.Errorf("schedule: duplicate record for %s", r.Activity)
+		}
+		r := r
+		t.records[r.Activity] = &r
+		t.order = append(t.order, r.Activity)
+	}
+	return t, nil
+}

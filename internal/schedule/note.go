@@ -1,0 +1,106 @@
+// Decentralized hooks: a partitioned engine owns a subset of the
+// process's activities and exchanges committed transitions with its
+// peers as Notes. The board carries a Lamport clock — incremented on
+// every local commit, advanced to max(local, remote) on every applied
+// remote note — so the per-node streams merge into one causally
+// consistent global order by stamp.
+package schedule
+
+import (
+	"time"
+
+	"dscweaver/internal/core"
+)
+
+// NoteKind is the transition a note reports.
+type NoteKind uint8
+
+const (
+	// NoteStart: the activity committed its start (and run) points.
+	NoteStart NoteKind = iota + 1
+	// NoteFinish: the activity committed its finish point; Branch
+	// carries the outcome for decisions.
+	NoteFinish
+	// NoteSkip: dead-path elimination skipped the activity; every point
+	// counts as released for dependents.
+	NoteSkip
+)
+
+func (k NoteKind) String() string {
+	switch k {
+	case NoteStart:
+		return "start"
+	case NoteFinish:
+		return "finish"
+	case NoteSkip:
+		return "skip"
+	}
+	return "?"
+}
+
+// Note is one committed activity transition, as exchanged between
+// partitioned engines. Stamp is the committing board's Lamport time;
+// Seq its node-local sequence number (a deterministic tiebreak for
+// equal stamps across nodes).
+type Note struct {
+	Activity core.ActivityID `json:"activity"`
+	Kind     NoteKind        `json:"kind"`
+	Branch   string          `json:"branch,omitempty"`
+	Stamp    uint64          `json:"stamp"`
+	Seq      int             `json:"seq"`
+	At       time.Time       `json:"at"`
+}
+
+// owned reports whether this engine executes the activity itself.
+func (e *Engine) owned(id core.ActivityID) bool {
+	return e.opts.Owned == nil || e.opts.Owned(id)
+}
+
+// publish hands a committed local transition to the enactment layer;
+// nil-safe. Called outside the board lock, from the goroutine that
+// committed the transition, so one activity's notes are ordered.
+func (e *Engine) publish(n Note) {
+	if e.opts.Publish != nil {
+		e.opts.Publish(n)
+	}
+}
+
+// applyRemote commits a peer's transition onto the local board:
+// happened points for gating, outcomes for guard evaluation, skips for
+// dead-path release. Idempotent — the enactment layer may deliver a
+// broadcast note more than once. The remote stamp advances the local
+// clock (Lamport receive); remote points get local sequence numbers so
+// edge release stays a nonzero test.
+func (e *Engine) applyRemote(b *board, n Note) {
+	act, ok := e.proc.Activity(n.Activity)
+	if !ok {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n.Stamp > b.clock {
+		b.clock = n.Stamp
+	}
+	switch n.Kind {
+	case NoteStart:
+		if b.happened[core.PointOf(n.Activity, core.Start)] == 0 {
+			b.seq++
+			b.happened[core.PointOf(n.Activity, core.Start)] = b.seq
+			b.happened[core.PointOf(n.Activity, core.Run)] = b.seq
+		}
+	case NoteFinish:
+		if b.happened[core.PointOf(n.Activity, core.Finish)] == 0 {
+			b.seq++
+			b.happened[core.PointOf(n.Activity, core.Finish)] = b.seq
+		}
+		if act.Kind == core.KindDecision && n.Branch != "" {
+			b.outcomes[string(n.Activity)] = n.Branch
+		}
+	case NoteSkip:
+		b.skipped[n.Activity] = true
+		if act.Kind == core.KindDecision {
+			b.outcomes[string(n.Activity)] = SkippedBranch
+		}
+	}
+	b.cond.Broadcast()
+}

@@ -1,0 +1,795 @@
+// POST /v1/enact: decentralized execution as a service — the §5
+// Nanda-connection analysis (internal/decentral) made operational.
+// The server weaves the request, partitions the minimal set across
+// hosts (interaction activities pinned to their service hosts), and
+// runs one scheduling engine per partition via internal/enact.
+//
+// Two deployment shapes share the handler:
+//
+//   - In-process (no peers): every partition runs inside this server
+//     over the in-process note fabric — the cheap way to observe the
+//     decentral.Comparison message counts on a live run.
+//   - Multi-process (peers given): this server becomes the
+//     coordinator. It ships each peer an explicit partition slice via
+//     POST /v1/enact/join; every process executes its hosts over the
+//     HTTP transport (frames correlated by run id on POST
+//     /v1/transport/invoke), returns its note stream, and the
+//     coordinator merges all streams by Lamport stamp into the global
+//     trace — which must pass the same Def. 5 validation as a
+//     single-engine run.
+//
+// Simulated services are partitioned too: each process's bus hosts
+// only the services whose first interaction activity its partition
+// owns, so a misrouted invoke fails loudly instead of silently
+// running on the wrong node.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dscweaver/internal/core"
+	"dscweaver/internal/decentral"
+	"dscweaver/internal/enact"
+	"dscweaver/internal/obs"
+	"dscweaver/internal/schedule"
+	"dscweaver/internal/services"
+	"dscweaver/internal/weave"
+)
+
+// maxEnactPeers caps the fan-out of one coordinated enactment.
+const maxEnactPeers = 16
+
+// EnactRequest is the body of POST /v1/enact: a simulate request plus
+// the decentralization shape.
+type EnactRequest struct {
+	SimulateRequest
+	// Nodes caps the partition at this many hosts: beyond the cap,
+	// hosts fold into the coordinator partition (0 = the natural
+	// placement, one host per service plus the coordinator).
+	Nodes int `json:"nodes,omitempty"`
+	// Peers lists base URLs of other dscweaverd processes to spread the
+	// partitions across. Empty runs every partition in this process.
+	Peers []string `json:"peers,omitempty"`
+	// SelfURL is this server's base URL as peers reach it; defaults to
+	// the request's Host header.
+	SelfURL string `json:"self_url,omitempty"`
+}
+
+func decodeEnactRequest(body io.Reader) (*EnactRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var q EnactRequest
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if err := q.SimulateRequest.validate(); err != nil {
+		return nil, err
+	}
+	if q.Nodes < 0 {
+		return nil, fmt.Errorf("nodes %d must be >= 0", q.Nodes)
+	}
+	if len(q.Peers) > maxEnactPeers {
+		return nil, fmt.Errorf("%d peers exceeds the cap of %d", len(q.Peers), maxEnactPeers)
+	}
+	for _, p := range q.Peers {
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("peer %q is not an http(s) base URL", p)
+		}
+	}
+	return &q, nil
+}
+
+// EnactJoinRequest is what the coordinator ships each peer: the same
+// weave inputs (the peer re-weaves deterministically) plus the
+// explicit, already-normalized partition and the host→URL ownership
+// map for routing notes.
+type EnactJoinRequest struct {
+	SimulateRequest
+	// RunID correlates every transport frame of this enactment.
+	RunID string `json:"run_id"`
+	// Hosts is the partition subset this peer executes.
+	Hosts []string `json:"hosts"`
+	// Partition maps every activity to its host — shipped explicitly so
+	// peers execute exactly the coordinator's placement.
+	Partition map[string]string `json:"partition"`
+	// Owners maps every host to the base URL of the process running it.
+	Owners map[string]string `json:"owners"`
+}
+
+func decodeEnactJoinRequest(body io.Reader) (*EnactJoinRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var q EnactJoinRequest
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if err := q.SimulateRequest.validate(); err != nil {
+		return nil, err
+	}
+	if q.RunID == "" {
+		return nil, fmt.Errorf("missing run_id")
+	}
+	if len(q.Hosts) == 0 {
+		return nil, fmt.Errorf("empty host subset")
+	}
+	if len(q.Partition) == 0 {
+		return nil, fmt.Errorf("empty partition")
+	}
+	return &q, nil
+}
+
+// EnactJoinResponse carries one peer's contribution back to the
+// coordinator.
+type EnactJoinResponse struct {
+	Notes           []enact.Note `json:"notes"`
+	EdgeMessages    int          `json:"edge_messages"`
+	OutcomeMessages int          `json:"outcome_messages"`
+}
+
+// EnactResponse is the body of POST /v1/enact. Like simulate, a run
+// that fails still answers 200 with Error set — the trace and note
+// streams are the diagnostic artifacts.
+type EnactResponse struct {
+	RunID     string            `json:"run_id"`
+	Process   string            `json:"process"`
+	Hosts     []string          `json:"hosts"`
+	Partition map[string]string `json:"partition"`
+
+	Executed    []string `json:"executed,omitempty"`
+	Skipped     []string `json:"skipped,omitempty"`
+	MaxParallel int      `json:"max_parallel"`
+	MakespanNS  int64    `json:"makespan_ns"`
+	// Valid reports the *merged* trace validating against the full
+	// pre-minimization constraint set — Def. 5 checked on the
+	// decentralized execution.
+	Valid bool   `json:"valid"`
+	Error string `json:"error,omitempty"`
+
+	// EdgeMessages / OutcomeMessages are the cross-node messages the
+	// run actually sent, summed over all processes. On a successful run
+	// EdgeMessages equals PredictedCrossEdges — the decentral.Comparison
+	// number observed live.
+	EdgeMessages        int `json:"edge_messages"`
+	OutcomeMessages     int `json:"outcome_messages"`
+	PredictedCrossEdges int `json:"predicted_cross_edges"`
+	// MessageSavings is the static analysis headline: cross-host
+	// messages the minimal set avoids versus the unoptimized set under
+	// the same (unfolded) pinning.
+	MessageSavings int `json:"message_savings"`
+
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// enactTransport registry: POST /v1/transport/invoke resolves frames
+// to the live enactment they belong to by run id.
+
+func (s *Server) registerEnactTransport(id string, t *services.HTTPTransport) error {
+	s.enactMu.Lock()
+	defer s.enactMu.Unlock()
+	if _, dup := s.enactTransports[id]; dup {
+		return fmt.Errorf("enactment %q already live on this server", id)
+	}
+	s.enactTransports[id] = t
+	delete(s.enactDone, id)
+	return nil
+}
+
+// enactDoneTTL bounds how long a finished enactment keeps
+// acknowledging late frames; senders racing a partition's completion
+// resolve within their retry budget, far inside this window.
+const enactDoneTTL = 5 * time.Minute
+
+// dropEnactTransport retires a finished enactment, leaving a
+// tombstone: a peer may still have frames for this run in flight, and
+// those must be acknowledged, not 404ed into retry loops.
+func (s *Server) dropEnactTransport(id string) {
+	now := time.Now()
+	s.enactMu.Lock()
+	delete(s.enactTransports, id)
+	for k, at := range s.enactDone {
+		if now.Sub(at) > enactDoneTTL {
+			delete(s.enactDone, k)
+		}
+	}
+	s.enactDone[id] = now
+	s.enactMu.Unlock()
+}
+
+// handleTransportInvoke is the shared frame endpoint for every live
+// enactment on this server. An unknown run answers 404 — the sender's
+// transient classification — so frames racing a peer's registration
+// retry through the warm-up window instead of failing the run.
+func (s *Server) handleTransportInvoke(w http.ResponseWriter, r *http.Request) {
+	var f services.Frame
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&f); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode frame: %w", err))
+		return
+	}
+	s.enactMu.Lock()
+	t := s.enactTransports[f.Run]
+	_, finished := s.enactDone[f.Run]
+	s.enactMu.Unlock()
+	if t == nil {
+		if finished {
+			// The run completed here and every local engine returned, so
+			// any note still in flight is redundant: acknowledge it. This
+			// unblocks a sender racing this partition's completion — e.g.
+			// a decision outcome broadcast arriving after the receiving
+			// partition already finished.
+			writeJSON(w, http.StatusOK, services.DeliverResult{})
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no live enactment for run %q", f.Run))
+		return
+	}
+	res, err := t.Deliver(f)
+	switch {
+	case errors.Is(err, services.ErrRunMismatch):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		// "unknown service" covers the window before enact.Run registers
+		// the node's receivers; 404 keeps the sender retrying.
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// fabricRetry tunes note sends: many attempts with short backoff to
+// ride out a peer's registration warm-up, but the total budget stays
+// below the engine timeout so an unreachable peer fails the send —
+// and with it the run, crisply — instead of pinning the publishing
+// engine goroutine past the deadline.
+func fabricRetry(timeout time.Duration) services.HTTPRetry {
+	return services.HTTPRetry{
+		MaxAttempts: 60,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+		MaxElapsed:  timeout * 3 / 4,
+	}
+}
+
+// httpFabric carries enactment notes over an HTTPTransport: each host
+// is the service "node:<host>", local hosts registered on the
+// transport, remote hosts routed to their owner's invoke endpoint.
+// Sends are synchronous Calls — a note must land (or exhaust retries
+// and fail the run); breakers do not apply.
+type httpFabric struct {
+	t *services.HTTPTransport
+}
+
+func (f *httpFabric) Register(host string, deliver func(enact.Note)) error {
+	return f.t.RegisterLocal("node:"+host, func(c *services.Call) ([]services.Emit, error) {
+		n, err := decodeNote(c.Payload)
+		if err != nil {
+			return nil, services.Permanent(fmt.Errorf("node %s: %w", host, err))
+		}
+		deliver(n)
+		return nil, nil
+	})
+}
+
+func (f *httpFabric) Send(host string, n enact.Note) error {
+	return f.t.Call("node:"+host, "note", n)
+}
+
+// Close is a no-op: the handler owns the transport (it outlives the
+// fabric — peers may retransmit frames until the run unregisters).
+func (f *httpFabric) Close() {}
+
+// decodeNote rebuilds a Note from the transport's decoded-JSON
+// payload.
+func decodeNote(v any) (enact.Note, error) {
+	var n enact.Note
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return n, fmt.Errorf("note payload: %w", err)
+	}
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return n, fmt.Errorf("note payload: %w", err)
+	}
+	if n.Activity == "" || n.Kind == 0 {
+		return n, fmt.Errorf("note payload: missing activity or kind")
+	}
+	return n, nil
+}
+
+// serviceOwners maps each service to the host owning its first
+// interaction activity — where its simulated bus instance lives. All
+// of a service's interaction activities are pinned to one host, so
+// under pinned placement this is simply that host; exotic plans that
+// split a service's activities fail loudly at invoke time.
+func serviceOwners(proc *core.Process, part decentral.Partition) map[string]string {
+	owners := map[string]string{}
+	for _, a := range proc.Activities() {
+		if (a.Kind == core.KindInvoke || a.Kind == core.KindReceive) && a.Service != "" {
+			if _, seen := owners[a.Service]; !seen {
+				owners[a.Service] = part[a.ID]
+			}
+		}
+	}
+	return owners
+}
+
+// enactNode bundles what one process needs to run its partition
+// subset: executors over a bus hosting the services it owns.
+type enactNode struct {
+	bus     *services.Bus
+	binding *schedule.Binding
+	execs   map[core.ActivityID]schedule.Executor
+	inputs  map[string]any
+}
+
+func (s *Server) buildEnactNode(q *SimulateRequest, out *weave.Result, plan *decentral.Plan, myHosts []string, sink obs.Sink) (*enactNode, error) {
+	proc := out.Parsed.Proc
+	mine := map[string]bool{}
+	for _, h := range myHosts {
+		mine[h] = true
+	}
+	owners := serviceOwners(proc, plan.Partition)
+	only := func(name string) bool { return mine[owners[name]] }
+	if len(myHosts) == 0 {
+		only = func(string) bool { return false }
+	}
+	latency := time.Duration(q.LatencyUS) * time.Microsecond
+	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, q.Breaker, s.reg, sink, only)
+	if err != nil {
+		return nil, err
+	}
+	binding := schedule.NewBinding(bus)
+	execs := binding.Executors(proc, time.Duration(q.WorkUS)*time.Microsecond)
+	overrideDecisions(proc, execs, q.Branches)
+	return &enactNode{
+		bus:     bus,
+		binding: binding,
+		execs:   execs,
+		inputs:  seedInputs(proc, q.Inputs),
+	}, nil
+}
+
+// close tears the node down bus-first (drain accepted invocations,
+// then the dispatcher's inbox loop ends).
+func (n *enactNode) close() {
+	n.bus.Close()
+	n.binding.Close()
+}
+
+func enactTimeout(q *SimulateRequest) time.Duration {
+	if q.TimeoutMS > 0 {
+		return time.Duration(q.TimeoutMS) * time.Millisecond
+	}
+	return 10 * time.Second
+}
+
+// planEnactment weaves the request and computes the normalized
+// executable plan: pinned placement, exclusive co-location, host cap.
+func (s *Server) planEnactment(ctx context.Context, q *SimulateRequest, nodes int, sink obs.Sink) (*weave.Result, *decentral.Plan, error) {
+	out, err := s.runWeave(ctx, &q.WeaveRequest, sink, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	minimal := out.Minimize.Minimal
+	plan, err := decentral.Place(minimal, decentral.Pin(out.Parsed.Proc))
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan, err = decentral.CoLocate(minimal, plan); err != nil {
+		return nil, nil, err
+	}
+	if plan, err = decentral.Fold(minimal, plan, nodes); err != nil {
+		return nil, nil, err
+	}
+	return out, plan, nil
+}
+
+func (s *Server) handleEnact(w http.ResponseWriter, r *http.Request) {
+	q, err := decodeEnactRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.admitError(w, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.weaveContext(r.Context())
+	defer cancel()
+	rn := s.runs.New("enact")
+	resp, err := s.runEnactment(ctx, q, rn, s.sinkFor(rn), r)
+	if err != nil {
+		rn.finish(err)
+		writeError(w, weaveStatus(err), err)
+		return
+	}
+	if resp.Error != "" {
+		rn.finish(errors.New(resp.Error))
+	} else {
+		rn.finish(nil)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runEnactment coordinates one enactment end to end.
+func (s *Server) runEnactment(ctx context.Context, q *EnactRequest, rn *run, sink obs.Sink, r *http.Request) (*EnactResponse, error) {
+	out, plan, err := s.planEnactment(ctx, &q.SimulateRequest, q.Nodes, sink)
+	if err != nil {
+		return nil, err
+	}
+	proc := out.Parsed.Proc
+	rn.setProcess(proc.Name)
+
+	resp := &EnactResponse{
+		RunID:               rn.Summary().ID,
+		Process:             proc.Name,
+		Hosts:               plan.Hosts,
+		Partition:           partitionJSON(plan.Partition),
+		PredictedCrossEdges: plan.CrossEdges,
+	}
+	// The static headline under the same (unfolded) pinning: how many
+	// cross-host messages minimization saves.
+	if cmp, cerr := decentral.Compare(out.Translated, out.Minimize.Minimal, decentral.Pin(proc)); cerr == nil {
+		resp.MessageSavings = cmp.MessageSavings()
+	}
+
+	if len(q.Peers) == 0 {
+		err = s.enactLocal(ctx, q, out, plan, sink, resp)
+	} else {
+		err = s.enactCoordinated(ctx, q, out, plan, sink, resp, r)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp, nil
+}
+
+// enactLocal runs every partition inside this process over the
+// in-process note fabric.
+func (s *Server) enactLocal(ctx context.Context, q *EnactRequest, out *weave.Result, plan *decentral.Plan, sink obs.Sink, resp *EnactResponse) error {
+	node, err := s.buildEnactNode(&q.SimulateRequest, out, plan, plan.Hosts, sink)
+	if err != nil {
+		return err
+	}
+	defer node.close()
+
+	eout, runErr := enact.Run(ctx, enact.Options{
+		Plan:    plan,
+		Set:     out.Minimize.Minimal,
+		Guards:  out.Guards,
+		Execs:   node.execs,
+		Inputs:  node.inputs,
+		Timeout: enactTimeout(&q.SimulateRequest),
+		Metrics: s.reg,
+		Events:  sink,
+	})
+	if eout != nil {
+		resp.EdgeMessages = eout.Stats.EdgeMessages
+		resp.OutcomeMessages = eout.Stats.OutcomeMessages
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return finishEnactResponse(resp, out, eout.Trace)
+}
+
+// enactCoordinated spreads the partitions across this process and the
+// peers, round-robin, and merges every process's note stream.
+func (s *Server) enactCoordinated(ctx context.Context, q *EnactRequest, out *weave.Result, plan *decentral.Plan, sink obs.Sink, resp *EnactResponse, r *http.Request) error {
+	self := q.SelfURL
+	if self == "" {
+		self = "http://" + r.Host
+	}
+	members := append([]string{self}, q.Peers...)
+	memberHosts := make([][]string, len(members))
+	owners := map[string]string{}
+	for i, h := range plan.Hosts {
+		m := i % len(members)
+		memberHosts[m] = append(memberHosts[m], h)
+		owners[h] = members[m]
+	}
+	myHosts := memberHosts[0]
+
+	// A collision-proof frame correlation id: the run id alone repeats
+	// across server restarts and across coordinators.
+	suffix := make([]byte, 4)
+	if _, err := rand.Read(suffix); err != nil {
+		return fmt.Errorf("run id: %w", err)
+	}
+	runID := resp.RunID + "-" + hex.EncodeToString(suffix)
+
+	routes := map[string]string{}
+	for h, url := range owners {
+		if url != self {
+			routes["node:"+h] = url
+		}
+	}
+	transport := services.NewHTTPTransport(services.HTTPConfig{
+		Run:     runID,
+		Node:    "coord:" + myHosts[0],
+		Routes:  routes,
+		Retry:   fabricRetry(enactTimeout(&q.SimulateRequest)),
+		Metrics: s.reg,
+		Events:  sink,
+	})
+	if err := s.registerEnactTransport(runID, transport); err != nil {
+		return err
+	}
+	defer func() {
+		s.dropEnactTransport(runID)
+		transport.Close()
+	}()
+
+	node, err := s.buildEnactNode(&q.SimulateRequest, out, plan, myHosts, sink)
+	if err != nil {
+		return err
+	}
+	defer node.close()
+
+	// Ship joins concurrently; the first peer failure aborts the local
+	// engines (which would otherwise wait on notes that never come).
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	join := EnactJoinRequest{
+		SimulateRequest: q.SimulateRequest,
+		RunID:           runID,
+		Partition:       partitionJSON(plan.Partition),
+		Owners:          owners,
+	}
+	peerResults := make([]*EnactJoinResponse, len(q.Peers))
+	peerErrs := make([]error, len(q.Peers))
+	var wg sync.WaitGroup
+	for i := range q.Peers {
+		hosts := memberHosts[i+1]
+		if len(hosts) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string, hosts []string) {
+			defer wg.Done()
+			jq := join
+			jq.Hosts = hosts
+			jr, err := postEnactJoin(runCtx, url, &jq)
+			if err != nil {
+				peerErrs[i] = fmt.Errorf("peer %s: %w", url, err)
+				cancelRun()
+				return
+			}
+			peerResults[i] = jr
+		}(i, q.Peers[i], hosts)
+	}
+
+	eout, runErr := enact.Run(runCtx, enact.Options{
+		Plan:    plan,
+		Set:     out.Minimize.Minimal,
+		Guards:  out.Guards,
+		Execs:   node.execs,
+		Inputs:  node.inputs,
+		Timeout: enactTimeout(&q.SimulateRequest),
+		Metrics: s.reg,
+		Events:  sink,
+		Hosts:   myHosts,
+		Fabric:  &httpFabric{t: transport},
+	})
+	wg.Wait()
+
+	notes := []enact.Note{}
+	if eout != nil {
+		resp.EdgeMessages = eout.Stats.EdgeMessages
+		resp.OutcomeMessages = eout.Stats.OutcomeMessages
+		notes = append(notes, eout.Notes...)
+	}
+	for _, jr := range peerResults {
+		if jr == nil {
+			continue
+		}
+		resp.EdgeMessages += jr.EdgeMessages
+		resp.OutcomeMessages += jr.OutcomeMessages
+		notes = append(notes, jr.Notes...)
+	}
+	var errs []error
+	if runErr != nil {
+		errs = append(errs, runErr)
+	}
+	for _, perr := range peerErrs {
+		if perr != nil {
+			errs = append(errs, perr)
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	merged, err := enact.Merge(out.Parsed.Proc, eout.Began, time.Now(), notes)
+	if err != nil {
+		return err
+	}
+	return finishEnactResponse(resp, out, merged)
+}
+
+// finishEnactResponse validates the merged trace against the global
+// pre-minimization set and fills the execution fields.
+func finishEnactResponse(resp *EnactResponse, out *weave.Result, tr *schedule.Trace) error {
+	resp.MaxParallel = tr.MaxParallel
+	resp.MakespanNS = int64(tr.Makespan())
+	for _, id := range tr.Executed() {
+		resp.Executed = append(resp.Executed, string(id))
+	}
+	for _, id := range tr.SkippedActivities() {
+		resp.Skipped = append(resp.Skipped, string(id))
+	}
+	if data, err := tr.MarshalJSON(); err == nil {
+		resp.Trace = data
+	}
+	if err := tr.Validate(out.Translated, out.Guards); err != nil {
+		return fmt.Errorf("trace validation: %w", err)
+	}
+	resp.Valid = true
+	return nil
+}
+
+func partitionJSON(part decentral.Partition) map[string]string {
+	out := make(map[string]string, len(part))
+	for id, h := range part {
+		out[string(id)] = h
+	}
+	return out
+}
+
+// postEnactJoin ships one peer its slice and waits for its notes.
+func postEnactJoin(ctx context.Context, baseURL string, q *EnactJoinRequest) (*EnactJoinResponse, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/enact/join", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("join: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var jr EnactJoinResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, fmt.Errorf("join response: %w", err)
+	}
+	return &jr, nil
+}
+
+// handleEnactJoin executes one shipped partition slice. The peer
+// re-weaves the same request (deterministic — same minimal set, same
+// guards) and runs exactly the coordinator's partition over the HTTP
+// fabric. Errors answer non-200; the coordinator folds them into its
+// in-band Error.
+func (s *Server) handleEnactJoin(w http.ResponseWriter, r *http.Request) {
+	q, err := decodeEnactJoinRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.admitError(w, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.weaveContext(r.Context())
+	defer cancel()
+	rn := s.runs.New("enact_join")
+	resp, err := s.runEnactJoin(ctx, q, rn, s.sinkFor(rn))
+	if err != nil {
+		rn.finish(err)
+		writeError(w, weaveStatus(err), err)
+		return
+	}
+	rn.finish(nil)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) runEnactJoin(ctx context.Context, q *EnactJoinRequest, rn *run, sink obs.Sink) (*EnactJoinResponse, error) {
+	out, err := s.runWeave(ctx, &q.WeaveRequest, sink, false)
+	if err != nil {
+		return nil, err
+	}
+	proc := out.Parsed.Proc
+	rn.setProcess(proc.Name)
+	minimal := out.Minimize.Minimal
+
+	part := decentral.Partition{}
+	for id, h := range q.Partition {
+		part[core.ActivityID(id)] = h
+	}
+	plan, err := decentral.PlanFor(minimal, part)
+	if err != nil {
+		return nil, err
+	}
+
+	routes := map[string]string{}
+	mine := map[string]bool{}
+	for _, h := range q.Hosts {
+		mine[h] = true
+	}
+	for _, h := range plan.Hosts {
+		if mine[h] {
+			continue
+		}
+		url := q.Owners[h]
+		if url == "" {
+			return nil, fmt.Errorf("host %q has no owner URL", h)
+		}
+		routes["node:"+h] = url
+	}
+	transport := services.NewHTTPTransport(services.HTTPConfig{
+		Run:     q.RunID,
+		Node:    "join:" + q.Hosts[0],
+		Routes:  routes,
+		Retry:   fabricRetry(enactTimeout(&q.SimulateRequest)),
+		Metrics: s.reg,
+		Events:  sink,
+	})
+	if err := s.registerEnactTransport(q.RunID, transport); err != nil {
+		transport.Close()
+		return nil, err
+	}
+	defer func() {
+		s.dropEnactTransport(q.RunID)
+		transport.Close()
+	}()
+
+	node, err := s.buildEnactNode(&q.SimulateRequest, out, plan, q.Hosts, sink)
+	if err != nil {
+		return nil, err
+	}
+	defer node.close()
+
+	eout, runErr := enact.Run(ctx, enact.Options{
+		Plan:    plan,
+		Set:     minimal,
+		Guards:  out.Guards,
+		Execs:   node.execs,
+		Inputs:  node.inputs,
+		Timeout: enactTimeout(&q.SimulateRequest),
+		Metrics: s.reg,
+		Events:  sink,
+		Hosts:   q.Hosts,
+		Fabric:  &httpFabric{t: transport},
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &EnactJoinResponse{
+		Notes:           eout.Notes,
+		EdgeMessages:    eout.Stats.EdgeMessages,
+		OutcomeMessages: eout.Stats.OutcomeMessages,
+	}, nil
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"errors"
+	"time"
+)
+
+// reprobeLoop is the background heal path for the persistent run
+// store: while a write fault holds the store in degraded memory-only
+// mode, every tick retries opening it in place (store.Reprobe). The
+// moment the disk takes writes again, finished runs that exist only in
+// the in-memory ring are re-appended to the store, so a transient disk
+// fault costs durability only for the window it was actually broken —
+// not until the next restart.
+func (s *Server) reprobeLoop(every time.Duration) {
+	defer close(s.reprobeDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reprobeStop:
+			return
+		case <-t.C:
+			if !s.store.Degraded() {
+				continue
+			}
+			if s.store.Reprobe() {
+				s.backfilled.Add(int64(s.runs.backfill()))
+			}
+		}
+	}
+}
+
+// backfill re-appends ring runs the persistent store lost while
+// degraded: every finished ring run with no store catalog entry
+// replays its buffered events into fresh store records. Runs still in
+// flight are left to the ring (they began with a no-op appender, so
+// the store could only ever hold a prefix of them); their histories
+// are the price of the fault window. Returns how many runs were made
+// durable.
+func (rs *runStore) backfill() int {
+	if rs.persist == nil {
+		return 0
+	}
+	rs.mu.Lock()
+	ids := append([]string(nil), rs.order...)
+	rs.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		r, ok := rs.Get(id)
+		if !ok {
+			continue
+		}
+		sum := r.Summary()
+		if sum.Status == "running" {
+			continue
+		}
+		if _, ok := rs.persist.Get(id); ok {
+			continue
+		}
+		app := rs.persist.Begin(id, r.seq, sum.Kind, sum.Began)
+		for _, e := range r.events.Events() {
+			app.Emit(e)
+		}
+		var runErr error
+		if sum.Status == "error" {
+			runErr = errors.New(sum.Error)
+		}
+		app.Finish(sum.Process, runErr)
+		n++
+	}
+	return n
+}

@@ -29,6 +29,7 @@ type RunSummary struct {
 // persistent store — the store appender its records flow through.
 type run struct {
 	mu      sync.Mutex
+	seq     int64 // numeric id suffix; immutable after New
 	summary RunSummary
 	events  *obs.MemSink
 	app     *store.Appender // nil without a persistent store
@@ -98,6 +99,7 @@ func (rs *runStore) New(kind string) *run {
 	defer rs.mu.Unlock()
 	rs.seq++
 	r := &run{
+		seq: rs.seq,
 		summary: RunSummary{
 			ID:     fmt.Sprintf("%s-%06d", kind, rs.seq),
 			Kind:   kind,

@@ -33,6 +33,7 @@ import (
 
 	"dscweaver/internal/core"
 	"dscweaver/internal/obs"
+	"dscweaver/internal/services"
 	"dscweaver/internal/store"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// StoreOpenFile substitutes the store's file layer (chaos fault
 	// injection and tests; nil = the real filesystem).
 	StoreOpenFile func(path string) (store.File, error)
+	// StoreReprobe is the interval at which a degraded store is
+	// re-probed in the background: when the disk heals, the store
+	// reopens in place and finished memory-only runs backfill from the
+	// ring, so a write fault no longer requires a restart to recover
+	// from (default 15s; negative disables).
+	StoreReprobe time.Duration
 	// EventsPath, when set, appends every run's events to a rotating
 	// JSONL log at this path.
 	EventsPath string
@@ -102,6 +109,9 @@ type Config struct {
 	LogMaxBytes int64
 	LogMaxAge   time.Duration
 	LogMaxFiles int
+	// LogOpenFile substitutes the rotating event log's file layer
+	// (chaos fault injection and tests; nil = the real filesystem).
+	LogOpenFile func(path string) (obs.LogFile, error)
 	// Buckets overrides histogram bucket bounds per metric family
 	// name, applied to the registry before any instrument registers.
 	Buckets map[string][]float64
@@ -144,6 +154,9 @@ func (c Config) Normalize() Config {
 	if c.MaxHeaderBytes <= 0 {
 		c.MaxHeaderBytes = 64 << 10
 	}
+	if c.StoreReprobe == 0 {
+		c.StoreReprobe = 15 * time.Second
+	}
 	return c
 }
 
@@ -168,6 +181,7 @@ type fileConfig struct {
 	StoreSegBytes    int64                `json:"store_segment_bytes"`
 	StoreMaxSegments int                  `json:"store_max_segments"`
 	StoreFsync       bool                 `json:"store_fsync"`
+	StoreReprobe     string               `json:"store_reprobe"`
 	EventsPath       string               `json:"events_path"`
 	LogMaxBytes      int64                `json:"log_max_bytes"`
 	LogMaxAge        string               `json:"log_max_age"`
@@ -216,6 +230,7 @@ func LoadConfig(path string) (Config, error) {
 		{fc.ReadTimeout, &c.ReadTimeout},
 		{fc.WriteTimeout, &c.WriteTimeout},
 		{fc.IdleTimeout, &c.IdleTimeout},
+		{fc.StoreReprobe, &c.StoreReprobe},
 		{fc.LogMaxAge, &c.LogMaxAge},
 	} {
 		if d.raw == "" {
@@ -249,6 +264,15 @@ type Server struct {
 	closed  atomic.Bool  // draining: reject new work
 	queued  atomic.Int64 // requests waiting on a pool slot
 
+	// enactTransports resolves incoming transport frames to the live
+	// decentralized enactment they belong to, keyed by run id.
+	enactMu         sync.Mutex
+	enactTransports map[string]*services.HTTPTransport
+	// enactDone tombstones recently finished enactments: late frames
+	// for them are acknowledged (a completed partition provably needs
+	// no more notes) instead of stalling the sender in 404 retries.
+	enactDone map[string]time.Time
+
 	// abortCtx is canceled when Shutdown's drain deadline passes: every
 	// in-flight weave context is derived from the request context AND
 	// this signal, so a stubborn drain aborts the heavy kernels instead
@@ -266,6 +290,14 @@ type Server struct {
 	// eventsTruncated counts /v1/runs/{id}/events replays that hit
 	// store corruption and served only the valid prefix.
 	eventsTruncated *obs.Counter // server_run_events_truncated_total
+	// backfilled counts ring runs re-appended to the store after a
+	// degrade heal (memory-only runs made durable again).
+	backfilled *obs.Counter // server_store_backfill_runs_total
+
+	// reprobeStop/reprobeDone bound the background store re-probe loop
+	// (nil when no store is attached or re-probing is disabled).
+	reprobeStop chan struct{}
+	reprobeDone chan struct{}
 }
 
 // New builds a server from cfg. Histogram bucket overrides are applied
@@ -294,11 +326,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		runs:     newRunStore(cfg.RunHistory, st),
-		store:    st,
-		weaveSem: make(chan struct{}, cfg.WeaveConcurrency),
+		cfg:             cfg,
+		reg:             reg,
+		runs:            newRunStore(cfg.RunHistory, st),
+		store:           st,
+		weaveSem:        make(chan struct{}, cfg.WeaveConcurrency),
+		enactTransports: map[string]*services.HTTPTransport{},
+		enactDone:       map[string]time.Time{},
 	}
 	if cfg.VerdictCacheSize >= 0 {
 		s.vcache = core.NewVerdictCache(cfg.VerdictCacheSize)
@@ -309,6 +343,8 @@ func New(cfg Config) (*Server, error) {
 			MaxBytes: cfg.LogMaxBytes,
 			MaxAge:   cfg.LogMaxAge,
 			MaxFiles: cfg.LogMaxFiles,
+			OpenFile: cfg.LogOpenFile,
+			Metrics:  reg,
 		})
 		if err != nil {
 			return nil, err
@@ -327,6 +363,12 @@ func New(cfg Config) (*Server, error) {
 	s.queueDepth = reg.Gauge("server_queue_depth")
 	s.shedTotal = reg.Counter("server_shed_total")
 	s.eventsTruncated = reg.Counter("server_run_events_truncated_total")
+	s.backfilled = reg.Counter("server_store_backfill_runs_total")
+	if st != nil && cfg.StoreReprobe > 0 {
+		s.reprobeStop = make(chan struct{})
+		s.reprobeDone = make(chan struct{})
+		go s.reprobeLoop(cfg.StoreReprobe)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -336,6 +378,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("run_events", s.handleRunEvents))
 	mux.HandleFunc("POST /v1/weave", s.instrument("weave", s.handleWeave))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/enact", s.instrument("enact", s.handleEnact))
+	mux.HandleFunc("POST /v1/enact/join", s.instrument("enact_join", s.handleEnactJoin))
+	mux.HandleFunc("POST "+services.DefaultInvokePath,
+		s.instrument("transport_invoke", s.handleTransportInvoke))
 	s.mux = mux
 	return s, nil
 }
@@ -778,6 +824,11 @@ func (s *Server) Shutdown() error {
 		case <-time.After(abortWait):
 			err = errors.Join(err, fmt.Errorf("drain: %w", ctx.Err()))
 		}
+	}
+	if s.reprobeStop != nil {
+		close(s.reprobeStop)
+		<-s.reprobeDone
+		s.reprobeStop = nil
 	}
 	if s.rot != nil {
 		err = errors.Join(err, s.rot.Close())

@@ -123,6 +123,26 @@ func (p *ServiceProfile) apply(cfg *services.Config) {
 	}
 }
 
+func (q *SimulateRequest) validate() error {
+	if err := q.WeaveRequest.validate(); err != nil {
+		return err
+	}
+	if q.LatencyUS < 0 || q.WorkUS < 0 || q.TimeoutMS < 0 {
+		return fmt.Errorf("negative duration")
+	}
+	for name, prof := range q.Services {
+		if err := prof.validate(name); err != nil {
+			return err
+		}
+	}
+	if q.Breaker != nil {
+		if err := q.Breaker.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -133,21 +153,8 @@ func decodeSimulateRequest(body io.Reader) (*SimulateRequest, error) {
 	if err := checkTrailing(dec); err != nil {
 		return nil, err
 	}
-	if err := q.WeaveRequest.validate(); err != nil {
+	if err := q.validate(); err != nil {
 		return nil, err
-	}
-	if q.LatencyUS < 0 || q.WorkUS < 0 || q.TimeoutMS < 0 {
-		return nil, fmt.Errorf("negative duration")
-	}
-	for name, prof := range q.Services {
-		if err := prof.validate(name); err != nil {
-			return nil, err
-		}
-	}
-	if q.Breaker != nil {
-		if err := q.Breaker.validate(); err != nil {
-			return nil, err
-		}
 	}
 	return &q, nil
 }
@@ -181,7 +188,13 @@ type SimulateResponse struct {
 // Sequential services keep their in-order port verification, so a
 // wrongly minimized set fails the conversation exactly like the
 // paper's state-aware Purchase service.
-func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, profiles map[string]ServiceProfile, breaker *BreakerProfile, reg *obs.Registry, sink obs.Sink) (*services.Bus, error) {
+//
+// only, when non-nil, restricts which declared services register —
+// the decentralized enactment path gives each process a bus hosting
+// just the services its partition owns, so a misplaced invoke fails
+// loudly ("unknown service") instead of running against a service
+// another node owns.
+func simulatedBus(proc *core.Process, branches map[string]string, latency time.Duration, profiles map[string]ServiceProfile, breaker *BreakerProfile, reg *obs.Registry, sink obs.Sink, only func(string) bool) (*services.Bus, error) {
 	for name, prof := range profiles {
 		svc, ok := proc.Service(name)
 		if !ok {
@@ -221,6 +234,9 @@ func simulatedBus(proc *core.Process, branches map[string]string, latency time.D
 		})
 	}
 	for _, svc := range proc.Services() {
+		if only != nil && !only(svc.Name) {
+			continue
+		}
 		var emits []services.Emit
 		for _, act := range proc.Activities() {
 			if act.Kind != core.KindReceive || act.Service != svc.Name || len(act.Writes) == 0 {
@@ -254,6 +270,25 @@ func simulatedBus(proc *core.Process, branches map[string]string, latency time.D
 		}
 	}
 	return bus, nil
+}
+
+// seedInputs copies the request inputs and auto-seeds every
+// client-receive variable with a placeholder, so a bare document runs
+// out of the box. Deterministic in proc + base: every enactment node
+// derives the identical variable store independently.
+func seedInputs(proc *core.Process, base map[string]any) map[string]any {
+	inputs := map[string]any{}
+	for k, v := range base {
+		inputs[k] = v
+	}
+	for _, act := range proc.Activities() {
+		if act.Kind == core.KindReceive && act.Service == "" && len(act.Writes) > 0 {
+			if _, ok := inputs[act.Writes[0]]; !ok {
+				inputs[act.Writes[0]] = fmt.Sprintf("input(%s)", act.Writes[0])
+			}
+		}
+	}
+	return inputs
 }
 
 // payloadFor chooses a callback payload: the resolved branch when a
@@ -299,7 +334,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
 	}
 
-	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, q.Breaker, s.reg, sink)
+	bus, err := simulatedBus(proc, q.Branches, latency, q.Services, q.Breaker, s.reg, sink, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -309,17 +344,7 @@ func (s *Server) runSimulation(ctx context.Context, q *SimulateRequest, rn *run,
 	defer binding.Close()
 	defer bus.Close()
 
-	inputs := map[string]any{}
-	for k, v := range q.Inputs {
-		inputs[k] = v
-	}
-	for _, act := range proc.Activities() {
-		if act.Kind == core.KindReceive && act.Service == "" && len(act.Writes) > 0 {
-			if _, ok := inputs[act.Writes[0]]; !ok {
-				inputs[act.Writes[0]] = fmt.Sprintf("input(%s)", act.Writes[0])
-			}
-		}
-	}
+	inputs := seedInputs(proc, q.Inputs)
 
 	execs := binding.Executors(proc, work)
 	overrideDecisions(proc, execs, q.Branches)

@@ -69,6 +69,10 @@ type breakerSet struct {
 	byPort map[string]*breaker
 }
 
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.normalize(), byPort: map[string]*breaker{}}
+}
+
 func (bs *breakerSet) get(service, port string) *breaker {
 	key := service + "\x00" + port
 	bs.mu.Lock()
@@ -81,13 +85,81 @@ func (bs *breakerSet) get(service, port string) *breaker {
 	return br
 }
 
+// breakerTransition reports what a state-machine step did, so the
+// owning transport can emit its own metrics and events for it. The
+// machine itself is transport-agnostic: the Bus and the HTTP transport
+// share it and differ only in this instrumentation glue.
+type breakerTransition int
+
+const (
+	breakerSame     breakerTransition = iota
+	breakerWentHalf                   // open → half-open (probe admitted)
+	breakerTripped                    // closed/half-open → open
+	breakerReclosed                   // half-open/open → closed
+)
+
+// admit decides whether one invocation may proceed: true while closed,
+// true exactly once per cooldown as the half-open probe, false
+// otherwise. A breakerWentHalf transition means this admission moved
+// the breaker to half-open.
+func (br *breaker) admit(cfg BreakerConfig) (bool, breakerTransition) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerClosed:
+		return true, breakerSame
+	case breakerHalfOpen:
+		if br.probing {
+			return false, breakerSame
+		}
+		br.probing = true
+		return true, breakerSame
+	default: // breakerOpen
+		if time.Since(br.openedAt) < cfg.Cooldown {
+			return false, breakerSame
+		}
+		// Cooldown elapsed: half-open, admit this invocation as the probe.
+		br.state = breakerHalfOpen
+		br.probing = true
+		return true, breakerWentHalf
+	}
+}
+
+// record feeds one invocation's verdict into the machine. The returned
+// consec is the consecutive-fault count at a trip, and probeFailed
+// marks a trip caused by a failed half-open probe (for event detail).
+func (br *breaker) record(faulted bool, cfg BreakerConfig) (tr breakerTransition, consec int, probeFailed bool) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if faulted {
+		wasHalfOpen := br.state == breakerHalfOpen
+		br.consec++
+		if br.state == breakerClosed && br.consec < cfg.Threshold {
+			return breakerSame, br.consec, false
+		}
+		// Trip: threshold reached, or the half-open probe failed.
+		br.state = breakerOpen
+		br.openedAt = time.Now()
+		br.probing = false
+		return breakerTripped, br.consec, wasHalfOpen
+	}
+	wasOpenish := br.state != breakerClosed
+	br.state = breakerClosed
+	br.consec = 0
+	br.probing = false
+	if wasOpenish {
+		return breakerReclosed, 0, false
+	}
+	return breakerSame, 0, false
+}
+
 // WithBreaker arms per-port circuit breaking. Call before traffic
 // flows (like Observe); the configuration applies to every port on
 // the bus.
 func (b *Bus) WithBreaker(cfg BreakerConfig) *Bus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.breakers = &breakerSet{cfg: cfg.normalize(), byPort: map[string]*breaker{}}
+	b.breakers = newBreakerSet(cfg)
 	return b
 }
 
@@ -106,31 +178,14 @@ func (b *Bus) breakerGauge(service, port string) *obs.Gauge {
 // fast-fail callback cannot race Close's inbox teardown.
 func (b *Bus) admitBreaker(service, port string) bool {
 	bs := b.breakers
-	br := bs.get(service, port)
-	br.mu.Lock()
-	defer br.mu.Unlock()
-	switch br.state {
-	case breakerClosed:
-		return true
-	case breakerHalfOpen:
-		if br.probing {
-			return false
-		}
-		br.probing = true
-		return true
-	default: // breakerOpen
-		if time.Since(br.openedAt) < bs.cfg.Cooldown {
-			return false
-		}
-		// Cooldown elapsed: half-open, admit this invocation as the probe.
-		br.state = breakerHalfOpen
-		br.probing = true
+	ok, tr := bs.get(service, port).admit(bs.cfg)
+	if tr == breakerWentHalf {
 		if g := b.breakerGauge(service, port); g != nil {
 			g.Set(breakerHalfOpen)
 		}
 		b.emit(obs.Event{Kind: obs.EvBreakerHalfOpen, Service: service, Port: port})
-		return true
 	}
+	return ok
 }
 
 // fastFail delivers the breaker-open callback for a rejected
@@ -151,37 +206,20 @@ func (b *Bus) recordOutcome(service, port string, faulted bool) {
 		return
 	}
 	bs := b.breakers
-	br := bs.get(service, port)
-	br.mu.Lock()
-	defer br.mu.Unlock()
-	if faulted {
-		wasHalfOpen := br.state == breakerHalfOpen
-		br.consec++
-		if br.state == breakerClosed && br.consec < bs.cfg.Threshold {
-			return
-		}
-		// Trip: threshold reached, or the half-open probe failed.
-		br.state = breakerOpen
-		br.openedAt = time.Now()
-		br.probing = false
+	switch tr, consec, probeFailed := bs.get(service, port).record(faulted, bs.cfg); tr {
+	case breakerTripped:
 		if b.reg != nil {
 			b.reg.Counter("bus_breaker_trips_total", "service", service, "port", port).Inc()
 		}
 		if g := b.breakerGauge(service, port); g != nil {
 			g.Set(breakerOpen)
 		}
-		ev := obs.Event{Kind: obs.EvBreakerOpen, Service: service, Port: port, Value: float64(br.consec)}
-		if wasHalfOpen {
+		ev := obs.Event{Kind: obs.EvBreakerOpen, Service: service, Port: port, Value: float64(consec)}
+		if probeFailed {
 			ev.Detail = "probe failed"
 		}
 		b.emit(ev)
-		return
-	}
-	wasOpenish := br.state != breakerClosed
-	br.state = breakerClosed
-	br.consec = 0
-	br.probing = false
-	if wasOpenish {
+	case breakerReclosed:
 		if g := b.breakerGauge(service, port); g != nil {
 			g.Set(breakerClosed)
 		}

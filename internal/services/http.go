@@ -1,0 +1,588 @@
+// The HTTP transport: the same Transport contract as the in-process
+// Bus, carried over JSON-framed HTTP POSTs between processes. Each
+// frame is correlated by run id (a frame for another run is refused)
+// and a per-sender sequence number, which makes retried POSTs
+// idempotent: the receiver caches the result of each (from, seq) and
+// replays it when a lost response causes a retransmit. Reliability
+// machinery sits at this seam, shared with the bus: per-(service,port)
+// circuit breakers reuse the bus's state machine, faults classify via
+// ErrTransient / ErrPermanent, and retries back off exponentially with
+// seeded jitter.
+package services
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscweaver/internal/obs"
+)
+
+// DefaultInvokePath is the endpoint peers mount for incoming frames.
+const DefaultInvokePath = "/v1/transport/invoke"
+
+// ErrRunMismatch is returned by Deliver for a frame correlated to a
+// different run than the transport serves.
+var ErrRunMismatch = errors.New("transport: frame for different run")
+
+// Frame is one invocation on the wire.
+type Frame struct {
+	V       int             `json:"v"`
+	Run     string          `json:"run"`
+	Seq     int64           `json:"seq"`
+	From    string          `json:"from"`
+	Service string          `json:"service"`
+	Port    string          `json:"port"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// CallbackFrame is one callback on the wire. Permanent preserves the
+// retry classification across the process boundary.
+type CallbackFrame struct {
+	Service   string          `json:"service"`
+	Tag       string          `json:"tag"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+	Err       string          `json:"err,omitempty"`
+	Permanent bool            `json:"permanent,omitempty"`
+}
+
+// DeliverResult is the response body of one delivered frame: the
+// callbacks the invocation produced, carried back synchronously so no
+// separate reply channel is needed.
+type DeliverResult struct {
+	Callbacks []CallbackFrame `json:"callbacks,omitempty"`
+}
+
+// callback rebuilds the in-memory callback, decoding the payload to
+// plain JSON values so engine-side variable reads behave exactly as
+// they do over the in-process bus.
+func (cf CallbackFrame) callback() Callback {
+	cb := Callback{Service: cf.Service, Tag: cf.Tag}
+	if len(cf.Payload) > 0 {
+		var v any
+		if err := json.Unmarshal(cf.Payload, &v); err == nil {
+			cb.Payload = v
+		} else {
+			cb.Payload = cf.Payload
+		}
+	}
+	if cf.Err != "" {
+		if cf.Permanent {
+			cb.Err = Permanent(errors.New(cf.Err))
+		} else {
+			cb.Err = errors.New(cf.Err)
+		}
+	}
+	return cb
+}
+
+// HTTPRetry tunes the transport's send retries (covering network
+// faults, 5xx responses, and the 404/409 warm-up window while a peer
+// has not yet registered the run).
+type HTTPRetry struct {
+	MaxAttempts int           // default 10
+	Backoff     time.Duration // first delay, default 25ms
+	Multiplier  float64       // default 2
+	MaxBackoff  time.Duration // default 1s
+	// MaxElapsed caps the total time one frame spends retrying (0 = no
+	// cap). Callers racing a deadline — the enactment fabric under the
+	// engine timeout — set it below that deadline so an unreachable
+	// peer surfaces as a send error instead of a generic timeout.
+	MaxElapsed time.Duration
+	Seed       int64 // jitter seed
+}
+
+func (r HTTPRetry) normalize() HTTPRetry {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 10
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 25 * time.Millisecond
+	}
+	if r.Multiplier < 1 {
+		r.Multiplier = 2
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = time.Second
+	}
+	return r
+}
+
+// HTTPConfig builds one HTTP transport.
+type HTTPConfig struct {
+	// Run is the correlation id stamped on every frame; Deliver refuses
+	// frames for any other run.
+	Run string
+	// Node names this process; stamped as Frame.From, it keys the
+	// receiver-side idempotency cache.
+	Node string
+	// Routes maps service names to peer base URLs (scheme://host:port).
+	// Services not routed must be registered locally.
+	Routes map[string]string
+	// Path is the invoke endpoint on peers (DefaultInvokePath when "").
+	Path string
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Retry tunes send retries.
+	Retry HTTPRetry
+	// Breaker arms per-(service,port) circuit breaking on the send path,
+	// sharing the bus's state machine. Nil leaves it off.
+	Breaker *BreakerConfig
+	// Metrics / Events instrument the transport (either may be nil).
+	Metrics *obs.Registry
+	Events  obs.Sink
+}
+
+// localService hosts one handler on this node. Calls are serialized
+// per service, with private state and a 1-based arrival index — the
+// bus's conversation semantics. Payloads are decoded from the wire to
+// plain JSON values before the handler runs, so a handler written for
+// the bus behaves identically when hosted over HTTP.
+type localService struct {
+	name  string
+	h     Handler
+	mu    sync.Mutex
+	state map[string]any
+	seq   int
+}
+
+// httpSender serializes outgoing frames for one destination service,
+// preserving per-service invocation order.
+type httpSender struct {
+	ch chan Frame
+}
+
+// HTTPTransport implements Transport over HTTP.
+type HTTPTransport struct {
+	cfg      HTTPConfig
+	client   *http.Client
+	retry    HTTPRetry
+	inbox    chan Callback
+	breakers *breakerSet
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	closed  bool
+	locals  map[string]*localService
+	senders map[string]*httpSender
+	wg      sync.WaitGroup // sender goroutines
+	seq     atomic.Int64
+
+	inflight sync.WaitGroup // accepted invocations not yet resolved
+
+	seenMu sync.Mutex
+	seen   map[string]DeliverResult // from\x00seq → replayed result
+
+	retries atomic.Int64
+}
+
+var _ Transport = (*HTTPTransport)(nil)
+
+// NewHTTPTransport builds a transport. Register local services with
+// RegisterLocal before traffic flows; mount Deliver behind the peer's
+// invoke endpoint.
+func NewHTTPTransport(cfg HTTPConfig) *HTTPTransport {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Path == "" {
+		cfg.Path = DefaultInvokePath
+	}
+	t := &HTTPTransport{
+		cfg:     cfg,
+		client:  client,
+		retry:   cfg.Retry.normalize(),
+		inbox:   make(chan Callback, 64),
+		rng:     rand.New(rand.NewSource(cfg.Retry.Seed + 1)),
+		locals:  map[string]*localService{},
+		senders: map[string]*httpSender{},
+		seen:    map[string]DeliverResult{},
+	}
+	if cfg.Breaker != nil {
+		t.breakers = newBreakerSet(*cfg.Breaker)
+	}
+	return t
+}
+
+// RegisterLocal hosts a handler on this node, reachable both from
+// peers (via Deliver) and from this node's own Invoke/Call.
+func (t *HTTPTransport) RegisterLocal(name string, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: register %s: %w", name, ErrBusClosed)
+	}
+	if _, dup := t.locals[name]; dup {
+		return fmt.Errorf("transport: register %s: duplicate service", name)
+	}
+	t.locals[name] = &localService{name: name, h: h, state: map[string]any{}}
+	return nil
+}
+
+func (t *HTTPTransport) emit(ev obs.Event) {
+	if t.cfg.Events == nil {
+		return
+	}
+	ev.Layer = obs.LayerTransport
+	t.cfg.Events.Emit(obs.Stamp(ev))
+}
+
+func (t *HTTPTransport) counter(name, service, port string) *obs.Counter {
+	if t.cfg.Metrics == nil {
+		return nil
+	}
+	return t.cfg.Metrics.Counter(name, "service", service, "port", port)
+}
+
+func (t *HTTPTransport) gauge(service, port string) *obs.Gauge {
+	if t.cfg.Metrics == nil {
+		return nil
+	}
+	return t.cfg.Metrics.Gauge("transport_breaker_state", "service", service, "port", port)
+}
+
+// Inbox returns the engine-side callback channel.
+func (t *HTTPTransport) Inbox() <-chan Callback { return t.inbox }
+
+// Retries reports how many send attempts were retried.
+func (t *HTTPTransport) Retries() int64 { return t.retries.Load() }
+
+func (t *HTTPTransport) deliver(cb Callback) {
+	if cb.Err != nil {
+		t.emit(obs.Event{Kind: obs.EvFault, Service: cb.Service, Port: cb.Tag, Err: cb.Err.Error()})
+	} else {
+		t.emit(obs.Event{Kind: obs.EvCallback, Service: cb.Service, Port: cb.Tag})
+	}
+	t.inbox <- cb
+}
+
+// Invoke sends payload to a service port asynchronously; the outcome
+// arrives on Inbox. Like the bus, it errors only structurally: unknown
+// service, closed transport, unmarshalable payload.
+func (t *HTTPTransport) Invoke(serviceName, port string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("transport: invoke %s.%s: %w", serviceName, port, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: invoke %s.%s: %w", serviceName, port, ErrBusClosed)
+	}
+	_, local := t.locals[serviceName]
+	url := t.cfg.Routes[serviceName]
+	if !local && url == "" {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: invoke %s.%s: unknown service", serviceName, port)
+	}
+	snd := t.senders[serviceName]
+	if snd == nil {
+		snd = &httpSender{ch: make(chan Frame, 1024)}
+		t.senders[serviceName] = snd
+		t.wg.Add(1)
+		go t.send(snd, serviceName, url)
+	}
+	t.inflight.Add(1)
+	t.mu.Unlock()
+
+	if c := t.counter("transport_invoke_total", serviceName, port); c != nil {
+		c.Inc()
+	}
+	t.emit(obs.Event{Kind: obs.EvInvoke, Service: serviceName, Port: port})
+	if t.breakers != nil {
+		if ok, trn := t.breakers.get(serviceName, port).admit(t.breakers.cfg); !ok {
+			t.fastFail(serviceName, port)
+			t.inflight.Done()
+			return nil
+		} else if trn == breakerWentHalf {
+			if g := t.gauge(serviceName, port); g != nil {
+				g.Set(breakerHalfOpen)
+			}
+			t.emit(obs.Event{Kind: obs.EvBreakerHalfOpen, Service: serviceName, Port: port})
+		}
+	}
+	snd.ch <- Frame{V: 1, Run: t.cfg.Run, Seq: t.seq.Add(1), From: t.cfg.Node,
+		Service: serviceName, Port: port, Payload: raw}
+	return nil
+}
+
+// fastFail delivers the breaker-open callback for a rejected
+// invocation without a network round trip.
+func (t *HTTPTransport) fastFail(service, port string) {
+	if c := t.counter("transport_breaker_fastfail_total", service, port); c != nil {
+		c.Inc()
+	}
+	t.deliver(Callback{Service: service, Tag: port,
+		Err: fmt.Errorf("transport: %s.%s: %w", service, port, ErrBreakerOpen)})
+}
+
+// send is the per-destination sender goroutine: frames resolve in
+// order, each into callbacks on the inbox plus a breaker verdict.
+func (t *HTTPTransport) send(snd *httpSender, service, url string) {
+	defer t.wg.Done()
+	for f := range snd.ch {
+		var res DeliverResult
+		var err error
+		if url == "" {
+			res, err = t.Deliver(f)
+		} else {
+			res, err = t.post(url, f)
+		}
+		faulted := err != nil
+		if err != nil {
+			t.deliver(Callback{Service: service, Tag: f.Port,
+				Err: fmt.Errorf("transport: %s.%s: %w", service, f.Port, err)})
+		} else {
+			for _, cf := range res.Callbacks {
+				cb := cf.callback()
+				if cb.Err != nil {
+					faulted = true
+				}
+				t.deliver(cb)
+			}
+		}
+		t.recordOutcome(service, f.Port, faulted)
+		t.inflight.Done()
+	}
+}
+
+// recordOutcome feeds one resolved invocation into the port's breaker.
+func (t *HTTPTransport) recordOutcome(service, port string, faulted bool) {
+	if t.breakers == nil {
+		return
+	}
+	switch trn, consec, probeFailed := t.breakers.get(service, port).record(faulted, t.breakers.cfg); trn {
+	case breakerTripped:
+		if c := t.counter("transport_breaker_trips_total", service, port); c != nil {
+			c.Inc()
+		}
+		if g := t.gauge(service, port); g != nil {
+			g.Set(breakerOpen)
+		}
+		ev := obs.Event{Kind: obs.EvBreakerOpen, Service: service, Port: port, Value: float64(consec)}
+		if probeFailed {
+			ev.Detail = "probe failed"
+		}
+		t.emit(ev)
+	case breakerReclosed:
+		if g := t.gauge(service, port); g != nil {
+			g.Set(breakerClosed)
+		}
+		t.emit(obs.Event{Kind: obs.EvBreakerClose, Service: service, Port: port})
+	}
+}
+
+// Call sends one frame synchronously and returns its error — the
+// enactment fabric's primitive for cross-node notes, where the caller
+// needs completion, not a callback. Retries cover transient faults and
+// the peer's registration warm-up; breakers do not apply (a note must
+// eventually land or the run fails).
+func (t *HTTPTransport) Call(serviceName, port string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("transport: call %s.%s: %w", serviceName, port, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: call %s.%s: %w", serviceName, port, ErrBusClosed)
+	}
+	_, local := t.locals[serviceName]
+	url := t.cfg.Routes[serviceName]
+	if !local && url == "" {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: call %s.%s: unknown service", serviceName, port)
+	}
+	t.inflight.Add(1)
+	t.mu.Unlock()
+	defer t.inflight.Done()
+
+	f := Frame{V: 1, Run: t.cfg.Run, Seq: t.seq.Add(1), From: t.cfg.Node,
+		Service: serviceName, Port: port, Payload: raw}
+	var res DeliverResult
+	if url == "" {
+		res, err = t.Deliver(f)
+	} else {
+		res, err = t.post(url, f)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: call %s.%s: %w", serviceName, port, err)
+	}
+	for _, cf := range res.Callbacks {
+		if cf.Err != "" {
+			return fmt.Errorf("transport: call %s.%s: %s", serviceName, port, cf.Err)
+		}
+	}
+	return nil
+}
+
+// post sends one frame with retries. Network faults, 5xx, and the
+// 404/409 registration window classify transient; other 4xx are
+// permanent.
+func (t *HTTPTransport) post(url string, f Frame) (DeliverResult, error) {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return DeliverResult{}, Permanent(err)
+	}
+	endpoint := url + t.cfg.Path
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt < t.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := t.backoff(attempt)
+			if t.retry.MaxElapsed > 0 && time.Since(start)+delay > t.retry.MaxElapsed {
+				return DeliverResult{}, fmt.Errorf("retry budget %v exhausted after %d attempts: %w",
+					t.retry.MaxElapsed, attempt, lastErr)
+			}
+			t.retries.Add(1)
+			if c := t.counter("transport_retries_total", f.Service, f.Port); c != nil {
+				c.Inc()
+			}
+			time.Sleep(delay)
+		}
+		resp, err := t.client.Post(endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = fmt.Errorf("%v: %w", err, ErrTransient)
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if rerr != nil {
+				lastErr = fmt.Errorf("%v: %w", rerr, ErrTransient)
+				continue
+			}
+			var res DeliverResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				lastErr = fmt.Errorf("%v: %w", err, ErrTransient)
+				continue
+			}
+			return res, nil
+		case resp.StatusCode == http.StatusNotFound,
+			resp.StatusCode == http.StatusConflict,
+			resp.StatusCode >= http.StatusInternalServerError:
+			lastErr = fmt.Errorf("peer %s: %w", resp.Status, ErrTransient)
+			continue
+		default:
+			return DeliverResult{}, Permanent(fmt.Errorf("peer %s: %s", resp.Status, bytes.TrimSpace(data)))
+		}
+	}
+	return DeliverResult{}, fmt.Errorf("%d attempts exhausted: %w", t.retry.MaxAttempts, lastErr)
+}
+
+// backoff computes the delay before the attempt'th retry: exponential,
+// capped, with seeded half-jitter.
+func (t *HTTPTransport) backoff(attempt int) time.Duration {
+	d := float64(t.retry.Backoff)
+	for i := 1; i < attempt; i++ {
+		d *= t.retry.Multiplier
+		if d >= float64(t.retry.MaxBackoff) {
+			d = float64(t.retry.MaxBackoff)
+			break
+		}
+	}
+	t.rngMu.Lock()
+	frac := 0.5 + 0.5*t.rng.Float64()
+	t.rngMu.Unlock()
+	return time.Duration(d * frac)
+}
+
+// Deliver processes one incoming frame against this node's local
+// services — the server mounts it behind the invoke endpoint. A
+// (from, seq) pair already processed replays its cached result, making
+// retransmits after lost responses idempotent.
+func (t *HTTPTransport) Deliver(f Frame) (DeliverResult, error) {
+	if f.Run != t.cfg.Run {
+		return DeliverResult{}, fmt.Errorf("%w: got %q, serving %q", ErrRunMismatch, f.Run, t.cfg.Run)
+	}
+	t.mu.Lock()
+	ls := t.locals[f.Service]
+	t.mu.Unlock()
+	if ls == nil {
+		return DeliverResult{}, fmt.Errorf("transport: deliver %s.%s: unknown service", f.Service, f.Port)
+	}
+	key := f.From + "\x00" + strconv.FormatInt(f.Seq, 10)
+	t.seenMu.Lock()
+	if res, ok := t.seen[key]; ok {
+		t.seenMu.Unlock()
+		return res, nil
+	}
+	t.seenMu.Unlock()
+
+	res := t.runLocal(ls, f)
+	t.seenMu.Lock()
+	t.seen[key] = res
+	t.seenMu.Unlock()
+	return res, nil
+}
+
+// runLocal executes one call on a hosted service, serialized per
+// service with bus conversation semantics.
+func (t *HTTPTransport) runLocal(ls *localService, f Frame) DeliverResult {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.seq++
+	if ls.h == nil {
+		return DeliverResult{}
+	}
+	var payload any
+	if len(f.Payload) > 0 {
+		if err := json.Unmarshal(f.Payload, &payload); err != nil {
+			payload = f.Payload
+		}
+	}
+	emits, err := ls.h(&Call{Port: f.Port, Payload: payload, State: ls.state, Seq: ls.seq})
+	if err != nil {
+		return DeliverResult{Callbacks: []CallbackFrame{{
+			Service: ls.name, Tag: f.Port, Err: err.Error(),
+			Permanent: errors.Is(err, ErrPermanent),
+		}}}
+	}
+	var cbs []CallbackFrame
+	for _, e := range emits {
+		raw, merr := json.Marshal(e.Payload)
+		if merr != nil {
+			cbs = append(cbs, CallbackFrame{Service: ls.name, Tag: e.Tag,
+				Err: fmt.Sprintf("marshal emit: %v", merr), Permanent: true})
+			continue
+		}
+		cbs = append(cbs, CallbackFrame{Service: ls.name, Tag: e.Tag, Payload: raw})
+	}
+	return DeliverResult{Callbacks: cbs}
+}
+
+// Close tears the transport down: no new invocations are accepted,
+// in-flight sends resolve and deliver their callbacks, then the inbox
+// closes — the bus's drain contract, so bindings shut down
+// identically over either transport.
+func (t *HTTPTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	senders := make([]*httpSender, 0, len(t.senders))
+	for _, s := range t.senders {
+		senders = append(senders, s)
+	}
+	t.mu.Unlock()
+	t.inflight.Wait()
+	for _, s := range senders {
+		close(s.ch)
+	}
+	t.wg.Wait()
+	close(t.inbox)
+}

@@ -1,0 +1,283 @@
+package services
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// serveTransport mounts a transport's Deliver behind an httptest
+// server, mapping a run mismatch to 409 (the warm-up signal a sender
+// retries through) and unknown services to 404.
+func serveTransport(t *testing.T, tr *HTTPTransport) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f Frame
+		if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := tr.Deliver(f)
+		switch {
+		case errors.Is(err, ErrRunMismatch):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusNotFound)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(res)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func fastRetry() HTTPRetry {
+	return HTTPRetry{MaxAttempts: 6, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	if err := remote.RegisterLocal("echo", func(c *Call) ([]Emit, error) {
+		return []Emit{{Tag: "out", Payload: c.Payload}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := serveTransport(t, remote)
+
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a",
+		Routes: map[string]string{"echo": srv.URL},
+		Retry:  fastRetry(),
+	})
+	if err := local.Invoke("echo", "in", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-local.Inbox()
+	if cb.Err != nil {
+		t.Fatalf("callback error: %v", cb.Err)
+	}
+	if cb.Service != "echo" || cb.Tag != "out" || cb.Payload != "hello" {
+		t.Fatalf("callback = %+v, want echo/out/hello", cb)
+	}
+	local.Close()
+	remote.Close()
+	if _, open := <-local.Inbox(); open {
+		t.Fatal("inbox not closed after Close")
+	}
+}
+
+func TestHTTPTransportPreservesPerServiceOrder(t *testing.T) {
+	var got []int
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	remote.RegisterLocal("seq", func(c *Call) ([]Emit, error) {
+		got = append(got, int(c.Payload.(float64)))
+		return nil, nil
+	})
+	srv := serveTransport(t, remote)
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"seq": srv.URL}, Retry: fastRetry(),
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := local.Invoke("seq", "p", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local.Close()
+	remote.Close()
+	if len(got) != n {
+		t.Fatalf("remote saw %d calls, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("call %d arrived as %d: order not preserved (%v)", i, v, got)
+		}
+	}
+}
+
+func TestHTTPDeliverIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	tr := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	tr.RegisterLocal("svc", func(c *Call) ([]Emit, error) {
+		calls.Add(1)
+		return []Emit{{Tag: "out", Payload: c.Seq}}, nil
+	})
+	f := Frame{V: 1, Run: "r1", Seq: 7, From: "a", Service: "svc", Port: "p",
+		Payload: json.RawMessage(`"x"`)}
+	first, err := tr.Deliver(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := tr.Deliver(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("handler ran %d times for a retransmitted frame, want 1", calls.Load())
+	}
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(replay)
+	if string(b1) != string(b2) {
+		t.Fatalf("replayed result differs: %s vs %s", b1, b2)
+	}
+	// A different sender with the same seq is a distinct invocation.
+	f2 := f
+	f2.From = "c"
+	if _, err := tr.Deliver(f2); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("handler ran %d times across two senders, want 2", calls.Load())
+	}
+}
+
+func TestHTTPDeliverRunMismatch(t *testing.T) {
+	tr := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	tr.RegisterLocal("svc", nil)
+	_, err := tr.Deliver(Frame{Run: "other", Seq: 1, From: "a", Service: "svc"})
+	if !errors.Is(err, ErrRunMismatch) {
+		t.Fatalf("err = %v, want ErrRunMismatch", err)
+	}
+}
+
+func TestHTTPRetryThroughWarmup(t *testing.T) {
+	// The peer 404s while "registration is pending", then serves: the
+	// sender must retry through the window and still deliver.
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	remote.RegisterLocal("late", func(c *Call) ([]Emit, error) {
+		return []Emit{{Tag: "out", Payload: "ok"}}, nil
+	})
+	var hits atomic.Int64
+	inner := serveTransport(t, remote)
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "run not registered", http.StatusNotFound)
+			return
+		}
+		inner.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"late": gate.URL}, Retry: fastRetry(),
+	})
+	if err := local.Invoke("late", "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-local.Inbox()
+	if cb.Err != nil {
+		t.Fatalf("callback error after warm-up: %v", cb.Err)
+	}
+	if local.Retries() < 2 {
+		t.Fatalf("Retries() = %d, want >= 2", local.Retries())
+	}
+	local.Close()
+	remote.Close()
+}
+
+func TestHTTPPermanentStatusDoesNotRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "malformed frame", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"svc": srv.URL}, Retry: fastRetry(),
+	})
+	if err := local.Invoke("svc", "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-local.Inbox()
+	if cb.Err == nil || !errors.Is(cb.Err, ErrPermanent) {
+		t.Fatalf("callback err = %v, want permanent", cb.Err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("a 4xx response was retried: %d attempts", hits.Load())
+	}
+	local.Close()
+}
+
+func TestHTTPBreakerTripsAndFastFails(t *testing.T) {
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	remote.RegisterLocal("flaky", func(c *Call) ([]Emit, error) {
+		return nil, fmt.Errorf("backend down")
+	})
+	srv := serveTransport(t, remote)
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a",
+		Routes:  map[string]string{"flaky": srv.URL},
+		Retry:   fastRetry(),
+		Breaker: &BreakerConfig{Threshold: 3, Cooldown: time.Hour},
+	})
+	// Trip: three consecutive handler faults.
+	for i := 0; i < 3; i++ {
+		if err := local.Invoke("flaky", "p", nil); err != nil {
+			t.Fatal(err)
+		}
+		cb := <-local.Inbox()
+		if cb.Err == nil {
+			t.Fatalf("attempt %d: expected faulted callback", i)
+		}
+	}
+	// Now open: the next invocation fast-fails without touching the wire.
+	if err := local.Invoke("flaky", "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-local.Inbox()
+	if !errors.Is(cb.Err, ErrBreakerOpen) {
+		t.Fatalf("callback err = %v, want ErrBreakerOpen", cb.Err)
+	}
+	local.Close()
+	remote.Close()
+}
+
+func TestHTTPCallSynchronous(t *testing.T) {
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	var got any
+	remote.RegisterLocal("note", func(c *Call) ([]Emit, error) {
+		got = c.Payload
+		return nil, nil
+	})
+	remote.RegisterLocal("bad", func(c *Call) ([]Emit, error) {
+		return nil, fmt.Errorf("rejected")
+	})
+	srv := serveTransport(t, remote)
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a",
+		Routes: map[string]string{"note": srv.URL, "bad": srv.URL},
+		Retry:  fastRetry(),
+	})
+	if err := local.Call("note", "p", map[string]any{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.(map[string]any)
+	if !ok || m["k"] != "v" {
+		t.Fatalf("remote saw %#v, want decoded map", got)
+	}
+	if err := local.Call("bad", "p", nil); err == nil {
+		t.Fatal("Call to a failing handler returned nil")
+	}
+	local.Close()
+	remote.Close()
+}
+
+func TestHTTPInvokeStructuralErrors(t *testing.T) {
+	tr := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "a"})
+	if err := tr.Invoke("nowhere", "p", nil); err == nil {
+		t.Error("unroutable service accepted")
+	}
+	tr.Close()
+	if err := tr.Invoke("nowhere", "p", nil); !errors.Is(err, ErrBusClosed) {
+		t.Errorf("invoke on closed transport: %v, want ErrBusClosed", err)
+	}
+	if err := tr.RegisterLocal("x", nil); !errors.Is(err, ErrBusClosed) {
+		t.Errorf("register on closed transport: %v, want ErrBusClosed", err)
+	}
+}

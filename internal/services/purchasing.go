@@ -5,8 +5,8 @@ import (
 	"time"
 )
 
-// RegisterPurchasing registers the four services of the paper's
-// running example on the bus with the given base latency:
+// PurchasingConfigs builds the four services of the paper's running
+// example:
 //
 //   - Credit authorizes purchase orders (port 1 → callback "au");
 //     approve controls the authorization outcome, driving the process
@@ -19,53 +19,62 @@ import (
 //     purchase order (callbacks "si" and "ss").
 //   - Production consumes the purchase order and shipping schedule and
 //     replies nothing.
-func RegisterPurchasing(b *Bus, latency time.Duration, approve bool) error {
-	if err := b.Register(Config{
-		Name: "Credit", Ports: []string{"1"}, Latency: latency,
-		Handle: func(c *Call) ([]Emit, error) {
-			outcome := "F"
-			if approve {
-				outcome = "T"
-			}
-			return []Emit{{Tag: "au", Payload: outcome}}, nil
-		},
-	}); err != nil {
-		return err
-	}
-	if err := b.Register(Config{
-		Name: "Purchase", Ports: []string{"1", "2"}, Sequential: true, Latency: latency,
-		Handle: func(c *Call) ([]Emit, error) {
-			switch c.Port {
-			case "1":
-				c.State["po"] = c.Payload
-				return nil, nil
-			case "2":
-				po, ok := c.State["po"]
-				if !ok {
-					return nil, fmt.Errorf("purchase: shipping invoice without purchase order")
+//
+// The configs register on a Bus (RegisterPurchasing) or host on any
+// other transport — an HTTP node serves them with RegisterLocal.
+func PurchasingConfigs(latency time.Duration, approve bool) []Config {
+	return []Config{
+		{
+			Name: "Credit", Ports: []string{"1"}, Latency: latency,
+			Handle: func(c *Call) ([]Emit, error) {
+				outcome := "F"
+				if approve {
+					outcome = "T"
 				}
-				oi := fmt.Sprintf("invoice(%v+%v)", po, c.Payload)
-				return []Emit{{Tag: "oi", Payload: oi}}, nil
-			default:
-				return nil, fmt.Errorf("purchase: unknown port %s", c.Port)
-			}
+				return []Emit{{Tag: "au", Payload: outcome}}, nil
+			},
 		},
-	}); err != nil {
-		return err
-	}
-	if err := b.Register(Config{
-		Name: "Ship", Ports: []string{"1"}, Latency: latency,
-		Handle: func(c *Call) ([]Emit, error) {
-			return []Emit{
-				{Tag: "si", Payload: fmt.Sprintf("shipInvoice(%v)", c.Payload)},
-				{Tag: "ss", Payload: fmt.Sprintf("shipSchedule(%v)", c.Payload)},
-			}, nil
+		{
+			Name: "Purchase", Ports: []string{"1", "2"}, Sequential: true, Latency: latency,
+			Handle: func(c *Call) ([]Emit, error) {
+				switch c.Port {
+				case "1":
+					c.State["po"] = c.Payload
+					return nil, nil
+				case "2":
+					po, ok := c.State["po"]
+					if !ok {
+						return nil, fmt.Errorf("purchase: shipping invoice without purchase order")
+					}
+					oi := fmt.Sprintf("invoice(%v+%v)", po, c.Payload)
+					return []Emit{{Tag: "oi", Payload: oi}}, nil
+				default:
+					return nil, fmt.Errorf("purchase: unknown port %s", c.Port)
+				}
+			},
 		},
-	}); err != nil {
-		return err
+		{
+			Name: "Ship", Ports: []string{"1"}, Latency: latency,
+			Handle: func(c *Call) ([]Emit, error) {
+				return []Emit{
+					{Tag: "si", Payload: fmt.Sprintf("shipInvoice(%v)", c.Payload)},
+					{Tag: "ss", Payload: fmt.Sprintf("shipSchedule(%v)", c.Payload)},
+				}, nil
+			},
+		},
+		{
+			Name: "Production", Ports: []string{"1", "2"}, Latency: latency,
+			// Fire-and-forget: no callbacks.
+		},
 	}
-	return b.Register(Config{
-		Name: "Production", Ports: []string{"1", "2"}, Latency: latency,
-		// Fire-and-forget: no callbacks.
-	})
+}
+
+// RegisterPurchasing registers the purchasing services on the bus.
+func RegisterPurchasing(b *Bus, latency time.Duration, approve bool) error {
+	for _, cfg := range PurchasingConfigs(latency, approve) {
+		if err := b.Register(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
 }

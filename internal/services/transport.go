@@ -1,0 +1,30 @@
+// The transport seam: the scheduling engine's binding talks to an
+// abstract Transport rather than to the in-process Bus concretely, so
+// the same engine runs unchanged whether its service interactions stay
+// in-process (Bus) or cross machine boundaries (HTTPTransport). The
+// seam carries the reliability machinery — per-port circuit breakers,
+// transient/permanent fault classification, chaos injection — so every
+// implementation inherits it rather than reinventing it.
+package services
+
+// Transport is the asynchronous fabric a scheduling engine invokes
+// services through. Invocations are fire-and-forget; every outcome —
+// success emits, faults, breaker fast-fails — comes back as a Callback
+// on Inbox. Implementations must preserve per-service invocation order
+// (a service declared Sequential sees calls in send order) and must
+// never deliver on Inbox after Close returns.
+type Transport interface {
+	// Invoke sends payload to a service port. It errors only on
+	// structural problems (unknown service, closed transport); execution
+	// faults surface as callbacks with Err set, classified via
+	// ErrTransient / ErrPermanent for the engine's retry loop.
+	Invoke(serviceName, port string, payload any) error
+	// Inbox is the single ordered stream of callbacks. The channel is
+	// closed by Close after every in-flight invocation has resolved.
+	Inbox() <-chan Callback
+	// Close tears the transport down, draining in-flight work first.
+	Close()
+}
+
+// The in-process bus is the Local transport.
+var _ Transport = (*Bus)(nil)

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"dscweaver/internal/obs"
+)
+
+// seedBitrotStore writes enough finished runs through small segments
+// that the sealed chain spans several files, then closes the store so
+// every segment is sealed with a sidecar index on disk.
+func seedBitrotStore(t *testing.T) (dir string, ids []string, wants map[string][]string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants = map[string][]string{}
+	for seq := int64(1); seq <= 8; seq++ {
+		id, w := writeRun(t, s, seq, "weave", 6, nil)
+		ids = append(ids, id)
+		wants[id] = w
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("seed produced only %d segments; bit-rot needs a sealed chain", len(segs))
+	}
+	return dir, ids, wants
+}
+
+// corruptEventLine flips the first byte of the first event line of a
+// segment — structural corruption at rest. The file size is unchanged,
+// so a cached sidecar index still passes its coherence checks and the
+// rot is only discoverable by reading the bytes.
+func corruptEventLine(t *testing.T, path string) (runID string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := int64(0)
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if json.Unmarshal(line, &rec) == nil && rec.T == recEvent {
+			data[cur] = '#'
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return rec.Run, cur
+		}
+		cur += int64(len(line))
+	}
+	t.Fatalf("no event line in %s", path)
+	return "", 0
+}
+
+// touchesSegment reports whether a run has records in segment n.
+func touchesSegment(s *Store, id string, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.runs[id]
+	if !ok {
+		return false
+	}
+	for _, l := range rs.locs {
+		if l.seg == n {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBitRotCachedIndex flips bytes inside a sealed mid-chain segment
+// without changing its size: the sidecar index still loads, so the rot
+// surfaces at read time — the affected run serves only the valid whole
+// lines before the corruption, with an error naming the segment, while
+// runs in other segments replay byte-exact.
+func TestBitRotCachedIndex(t *testing.T) {
+	dir, ids, wants := seedBitrotStore(t)
+	segs, _ := listSegments(dir)
+	segN := segs[0]
+	s0 := &Store{dir: dir}
+	victim, _ := corruptEventLine(t, s0.segPath(segN))
+
+	s, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("bit rot in a sealed segment must not fail Open: %v", err)
+	}
+	defer s.Close()
+
+	// The cached index still answers the catalog: the victim is listed.
+	if _, ok := s.Get(victim); !ok {
+		t.Fatalf("victim run %s missing from catalog under a loaded sidecar", victim)
+	}
+	evs, err := s.Events(victim)
+	if err == nil {
+		t.Fatalf("reading through rot returned no error (%d events)", len(evs))
+	}
+	if !strings.Contains(err.Error(), "malformed record") {
+		t.Errorf("rot error %q does not say 'malformed record'", err)
+	}
+	if !strings.Contains(err.Error(), "seg-") {
+		t.Errorf("rot error %q does not name the segment", err)
+	}
+	want := wants[victim]
+	if len(evs) >= len(want) {
+		t.Fatalf("rot replay served %d events, want a strict prefix of %d", len(evs), len(want))
+	}
+	for i := range evs {
+		if string(evs[i]) != want[i] {
+			t.Fatalf("prefix event %d = %s, want %s (only valid whole lines may serve)", i, evs[i], want[i])
+		}
+	}
+
+	// Runs with no records in the rotted segment replay byte-exact.
+	clean := 0
+	for _, id := range ids {
+		if touchesSegment(s, id, segN) {
+			continue
+		}
+		clean++
+		evs, err := s.Events(id)
+		if err != nil {
+			t.Fatalf("clean run %s: %v", id, err)
+		}
+		w := wants[id]
+		if len(evs) != len(w) {
+			t.Fatalf("clean run %s replays %d events, want %d", id, len(evs), len(w))
+		}
+		for i := range evs {
+			if string(evs[i]) != w[i] {
+				t.Fatalf("clean run %s event %d = %s, want %s", id, i, evs[i], w[i])
+			}
+		}
+	}
+	if clean == 0 {
+		t.Fatal("no run untouched by the rotted segment; seed spread too thin to prove isolation")
+	}
+}
+
+// TestBitRotRebuiltIndex is the same rot with the sidecar deleted: the
+// rebuild scans the segment, indexes only the valid line prefix, and
+// the store serves exactly the surviving whole lines — never the
+// rotted bytes — without failing Open.
+func TestBitRotRebuiltIndex(t *testing.T) {
+	dir, ids, wants := seedBitrotStore(t)
+	segs, _ := listSegments(dir)
+	segN := segs[0]
+	s0 := &Store{dir: dir}
+	victim, _ := corruptEventLine(t, s0.segPath(segN))
+	if err := os.Remove(indexPath(s0.segPath(segN))); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("index rebuild over rot must not fail Open: %v", err)
+	}
+	defer s.Close()
+
+	// The rebuilt index covers only the prefix before the rot, so a
+	// replay of the victim serves a clean in-order subsequence of its
+	// events (the segment's post-rot lines are unindexed) — and no
+	// error, because every indexed byte range is valid.
+	if _, ok := s.Get(victim); !ok {
+		t.Fatalf("victim run %s absent after rebuild (begin precedes the rot)", victim)
+	}
+	evs, err := s.Events(victim)
+	if err != nil {
+		t.Fatalf("rebuilt-index replay must serve only indexed valid lines, got %v", err)
+	}
+	want := wants[victim]
+	if len(evs) >= len(want) {
+		t.Fatalf("rot replay served %d events, want fewer than %d", len(evs), len(want))
+	}
+	j := 0
+	for _, ev := range evs {
+		for j < len(want) && want[j] != string(ev) {
+			j++
+		}
+		if j == len(want) {
+			t.Fatalf("replayed event %s is not an in-order subsequence of the written events", ev)
+		}
+		j++
+	}
+
+	// The last-written run lives entirely past the rotted segment and
+	// must be untouched.
+	last := ids[len(ids)-1]
+	evs, err = s.Events(last)
+	if err != nil || len(evs) != len(wants[last]) {
+		t.Fatalf("last run %s after rebuild: %d events, err %v", last, len(evs), err)
+	}
+}
+
+// TestBitRotLastSegment rots the newest segment: reopening treats it
+// as the crash-active segment, so recovery truncates to the valid
+// prefix and quarantines the rotted tail — surfaced by the quarantine
+// sidecar and the store_quarantined_bytes_total counter.
+func TestBitRotLastSegment(t *testing.T) {
+	dir, _, wants := seedBitrotStore(t)
+	segs, _ := listSegments(dir)
+	segN := segs[len(segs)-1]
+	s0 := &Store{dir: dir}
+	path := s0.segPath(segN)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, off := corruptEventLine(t, path)
+	tail := st.Size() - off
+
+	reg := obs.NewRegistry()
+	s, err := Open(dir, Options{SegmentBytes: 1 << 10, Metrics: reg})
+	if err != nil {
+		t.Fatalf("rot in the newest segment must not fail Open: %v", err)
+	}
+	defer s.Close()
+
+	if got := reg.Counter("store_quarantined_bytes_total").Value(); got != tail {
+		t.Errorf("store_quarantined_bytes_total = %d, want %d", got, tail)
+	}
+	q, err := os.ReadFile(quarantinePath(path))
+	if err != nil {
+		t.Fatalf("no quarantine sidecar for the rotted tail: %v", err)
+	}
+	if int64(len(q)) != tail {
+		t.Errorf("quarantined %d bytes, want %d", len(q), tail)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != off {
+		t.Errorf("segment not truncated to the valid prefix: size %d, want %d", st.Size(), off)
+	}
+
+	// The victim replays its surviving prefix with no error — recovery
+	// already cut the log at the rot, so every served line is whole.
+	evs, err := s.Events(victim)
+	if err != nil {
+		t.Fatalf("recovered replay must be clean, got %v", err)
+	}
+	want := wants[victim]
+	if len(evs) >= len(want) {
+		t.Fatalf("recovered replay served %d events, want fewer than %d", len(evs), len(want))
+	}
+	for i := range evs {
+		if string(evs[i]) != want[i] {
+			t.Fatalf("recovered event %d = %s, want %s", i, evs[i], want[i])
+		}
+	}
+	if m, _ := s.Get(victim); m.Done {
+		t.Errorf("victim %s reads as finished although its finish record was quarantined: %+v", victim, m)
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"dscweaver/internal/obs"
+)
+
+// healFS is a file layer whose writes all fail while broken: the
+// "device" dies and later recovers, which is the scenario Reprobe
+// exists for.
+type healFS struct {
+	mu     sync.Mutex
+	broken bool
+	faults int
+}
+
+func (h *healFS) setBroken(b bool) {
+	h.mu.Lock()
+	h.broken = b
+	h.mu.Unlock()
+}
+
+func (h *healFS) open(path string) (File, error) {
+	f, err := OSOpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &healFile{fs: h, f: f}, nil
+}
+
+type healFile struct {
+	fs *healFS
+	f  File
+}
+
+func (hf *healFile) Write(p []byte) (int, error) {
+	hf.fs.mu.Lock()
+	broken := hf.fs.broken
+	if broken {
+		hf.fs.faults++
+	}
+	hf.fs.mu.Unlock()
+	if broken {
+		return 0, errDisk
+	}
+	return hf.f.Write(p)
+}
+
+func (hf *healFile) Sync() error  { return hf.f.Sync() }
+func (hf *healFile) Close() error { return hf.f.Close() }
+
+var errDisk = &deviceGone{}
+
+type deviceGone struct{}
+
+func (*deviceGone) Error() string { return "device gone" }
+
+// TestReprobeHealsDegradedStore pins the restartless heal path: a
+// write fault latches the store degraded; Reprobe against a
+// still-broken disk fails and stays degraded; once the disk recovers,
+// Reprobe clears the latch in place, appends flow again, and the
+// replayed catalog is exactly what reached the disk.
+func TestReprobeHealsDegradedStore(t *testing.T) {
+	dir := t.TempDir()
+	fs := &healFS{}
+	reg := obs.NewRegistry()
+	s, err := Open(dir, Options{OpenFile: fs.open, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id1, want1 := writeRun(t, s, 1, "weave", 3, nil)
+
+	// The device dies: the next run's finish flush faults and the
+	// store latches degraded. Its records never reach the disk.
+	fs.setBroken(true)
+	id2, _ := writeRun(t, s, 2, "weave", 3, nil)
+	if !s.Degraded() {
+		t.Fatal("store not degraded after write faults")
+	}
+	if got := reg.Counter("store_reprobe_total").Value(); got != 0 {
+		t.Fatalf("store_reprobe_total = %d before any reprobe", got)
+	}
+
+	// Probing a still-broken disk must fail, stay degraded, and count.
+	if s.Reprobe() {
+		t.Fatal("Reprobe healed against a broken disk")
+	}
+	if !s.Degraded() {
+		t.Fatal("failed Reprobe cleared the degrade latch")
+	}
+	if got := reg.Counter("store_reprobe_total").Value(); got != 1 {
+		t.Fatalf("store_reprobe_total = %d after one failed reprobe, want 1", got)
+	}
+	if fs.faults == 0 {
+		t.Fatal("failed reprobe never touched the broken disk")
+	}
+
+	// The device recovers.
+	fs.setBroken(false)
+	if !s.Reprobe() {
+		t.Fatal("Reprobe failed against a healed disk")
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after successful reprobe")
+	}
+	if got := reg.Gauge("store_degraded").Value(); got != 0 {
+		t.Fatalf("store_degraded = %d after heal, want 0", got)
+	}
+
+	// Run 1 survived with its exact bytes; run 2 never hit the disk
+	// and must not resurface as a ghost.
+	evs, err := s.Events(id1)
+	if err != nil {
+		t.Fatalf("events %s after heal: %v", id1, err)
+	}
+	if len(evs) != len(want1) {
+		t.Fatalf("run 1 replays %d events after heal, want %d", len(evs), len(want1))
+	}
+	for i := range evs {
+		if string(evs[i]) != want1[i] {
+			t.Fatalf("run 1 event %d = %s, want %s", i, evs[i], want1[i])
+		}
+	}
+	if _, ok := s.Get(id2); ok {
+		t.Fatalf("run %s (lost to the fault window) ghosts in the healed catalog", id2)
+	}
+
+	// Appends flow again without a restart, and survive a real one.
+	id3, want3 := writeRun(t, s, 3, "weave", 2, nil)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close healed store: %v", err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range []string{id1, id3} {
+		m, ok := s2.Get(id)
+		if !ok || !m.Done {
+			t.Fatalf("run %s missing or unfinished after restart: %+v ok=%v", id, m, ok)
+		}
+	}
+	evs, err = s2.Events(id3)
+	if err != nil || len(evs) != len(want3) {
+		t.Fatalf("run 3 replay after restart: %d events, err %v", len(evs), err)
+	}
+
+	// A healthy store reprobes as a cheap no-op.
+	if !s2.Reprobe() {
+		t.Fatal("healthy Reprobe returned false")
+	}
+}

@@ -176,6 +176,7 @@ type Store struct {
 	mQuarantined *obs.Counter
 	mCompacted   *obs.Counter
 	mRecovered   *obs.Counter
+	mReprobes    *obs.Counter
 }
 
 // Open opens (creating if needed) the store at dir and replays its
@@ -198,6 +199,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		mQuarantined: opts.Metrics.Counter("store_quarantined_bytes_total"),
 		mCompacted:   opts.Metrics.Counter("store_compacted_segments_total"),
 		mRecovered:   opts.Metrics.Counter("store_recovered_runs_total"),
+		mReprobes:    opts.Metrics.Counter("store_reprobe_total"),
 	}
 	if err := s.replay(); err != nil {
 		return nil, err
@@ -299,6 +301,59 @@ func (s *Store) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.firstErr
+}
+
+// Reprobe attempts to heal a degraded store in place: the segment
+// chain is re-replayed from disk — the segment abandoned at degrade
+// time recovers to its longest valid line prefix exactly like a crash
+// — and a fresh active segment opens past it. On success the degrade
+// latch clears and appends flow again, so a transient disk fault no
+// longer requires a restart. On failure the store stays degraded; when
+// the replay itself succeeded the freshly rebuilt catalog is kept (it
+// is disk truth), otherwise the old catalog keeps serving reads. A
+// healthy store returns true without touching the disk.
+//
+// Note the rebuild drops catalog entries whose records never reached
+// the disk (they were buffered when the fault hit): the owning server
+// re-appends those runs from its in-memory ring after a heal.
+func (s *Store) Reprobe() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.degraded {
+		return true
+	}
+	s.mReprobes.Inc()
+	runs, order, sealed, maxSeq := s.runs, s.order, s.sealed, s.maxSeq
+	s.runs, s.order, s.sealed, s.maxSeq = map[string]*runState{}, nil, nil, 0
+	s.active = nil
+	// Clear the latch so a fault during the probe re-latches through
+	// degrade() instead of being swallowed by its already-degraded
+	// short-circuit.
+	s.degraded, s.firstErr = false, nil
+	if err := s.replay(); err != nil {
+		s.runs, s.order, s.sealed, s.maxSeq = runs, order, sealed, maxSeq
+		s.degrade(err)
+		return false
+	}
+	next := 1
+	if n := len(s.sealed); n > 0 {
+		next = s.sealed[n-1].n + 1
+	}
+	if err := s.openActive(next); err != nil {
+		s.degrade(err)
+		s.updateGauges()
+		return false
+	}
+	if s.degraded {
+		// replay came back read-only degraded (an index rewrite failed):
+		// the rebuilt catalog serves, but the disk is not healed.
+		s.updateGauges()
+		return false
+	}
+	s.mDegraded.Set(0)
+	s.compactLocked()
+	s.updateGauges()
+	return true
 }
 
 // degrade latches the store into memory-only mode; callers hold s.mu.

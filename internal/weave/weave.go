@@ -28,6 +28,7 @@ import (
 	"dscweaver/internal/bpel"
 	"dscweaver/internal/cond"
 	"dscweaver/internal/core"
+	"dscweaver/internal/decentral"
 	"dscweaver/internal/obs"
 	"dscweaver/internal/petri"
 )
@@ -41,6 +42,7 @@ const (
 	StageDesugar   = "desugar"
 	StageTranslate = "translate"
 	StageMinimize  = "minimize"
+	StagePlace     = "place"
 	StageValidate  = "validate"
 	StageBPEL      = "bpel"
 )
@@ -101,6 +103,12 @@ type Options struct {
 	// worker count (≤ 1 = sequential).
 	ValidateParallel int
 
+	// Decentral enables the place stage: partition the process across
+	// per-service hosts (decentral.Place) for both the unoptimized and
+	// the minimal set, reporting predicted cross-host message counts.
+	// The enactment layer executes Result.Decentral.Minimal.
+	Decentral bool
+
 	// BPEL enables document generation; StructuredBPEL folds
 	// unconditional chains into <sequence> constructs.
 	BPEL           bool
@@ -155,6 +163,9 @@ type Result struct {
 	Translated *core.ConstraintSet
 	// Minimize is the Definition 6 minimization outcome.
 	Minimize *core.MinimizeResult
+	// Decentral compares decentralized placements of the unoptimized
+	// and minimal sets (nil unless Options.Decentral).
+	Decentral *decentral.Comparison
 	// Soundness is the Petri-net verdict (nil unless Options.Validate).
 	// Soundness.StateSpace.Truncated means the verdict came from a
 	// capped exploration and is inconclusive, not a proof.
@@ -299,6 +310,9 @@ func (p *Pipeline) stages(in Input) ([]stage, error) {
 		stage{StageTranslate, p.translate},
 		stage{StageMinimize, p.minimize},
 	)
+	if p.opts.Decentral {
+		out = append(out, stage{StagePlace, p.place})
+	}
 	if p.opts.Validate {
 		out = append(out, stage{StageValidate, p.validate})
 	}
@@ -369,6 +383,16 @@ func (p *Pipeline) minimize(ctx context.Context, res *Result) error {
 		return err
 	}
 	res.Minimize = min
+	return nil
+}
+
+func (p *Pipeline) place(ctx context.Context, res *Result) error {
+	cmp, err := decentral.Compare(res.Translated, res.Minimize.Minimal,
+		decentral.Pin(res.Parsed.Proc))
+	if err != nil {
+		return err
+	}
+	res.Decentral = cmp
 	return nil
 }
 
