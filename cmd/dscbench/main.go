@@ -11,6 +11,8 @@
 //
 //	weave     POST /v1/weave      (write: full pipeline)
 //	simulate  POST /v1/simulate   (write: pipeline + engine run)
+//	enact     POST /v1/enact      (write: pipeline + one engine per
+//	          decentral partition over the in-process note fabric)
 //	runs      GET  /v1/runs       (read: history listing)
 //	events    GET  /v1/runs/{id}/events (read: log replay of an
 //	          id observed earlier in the bench)
@@ -27,8 +29,8 @@
 //	-clients N    concurrent client routines (default 8)
 //	-duration D   run length (default 30s)
 //	-requests N   stop after N total requests (0 = duration-bound)
-//	-mix NAME     read-heavy | write-heavy | scan, or custom weights
-//	              "weave=2,simulate=1,runs=4,events=3"
+//	-mix NAME     read-heavy | write-heavy | scan | decentral, or
+//	              custom weights "weave=2,simulate=1,enact=1,runs=4,events=3"
 //	-procs N      distinct generated processes (default 8)
 //	-layers/-width/-density  workload shape (default 4x3, 0.3)
 //	-seed N       generation and mix-draw seed (default 1)
@@ -58,7 +60,7 @@ import (
 )
 
 // opClasses in mix order; weights index into this.
-var opClasses = []string{"weave", "simulate", "runs", "events"}
+var opClasses = []string{"weave", "simulate", "enact", "runs", "events"}
 
 // namedMixes are the canonical workload mixes. Weights are relative
 // draw frequencies per op class.
@@ -66,6 +68,10 @@ var namedMixes = map[string]map[string]int{
 	"read-heavy":  {"weave": 1, "simulate": 1, "runs": 4, "events": 4},
 	"write-heavy": {"weave": 4, "simulate": 4, "runs": 1, "events": 1},
 	"scan":        {"weave": 1, "simulate": 0, "runs": 6, "events": 3},
+	// decentral keeps the decentralized path hot: most writes run the
+	// full enactment (partition placement, per-partition engines, note
+	// fabric, Def. 5 merge validation).
+	"decentral": {"weave": 1, "simulate": 1, "enact": 4, "runs": 2, "events": 2},
 }
 
 func parseMix(s string) (map[string]int, error) {
@@ -193,12 +199,19 @@ func (r *idRing) pick(rng *rand.Rand) string {
 }
 
 // genSources renders n deterministic synthetic processes to DSCL.
-func genSources(n, layers, width int, density float64, seed int64) []string {
+// services > 0 adds that many pinned service interactions per process,
+// which makes the decentral placement genuinely multi-host — the enact
+// op class uses these so sustained load exercises cross-partition
+// notes, not a single-engine degenerate plan.
+func genSources(n, layers, width int, density float64, seed int64, services int) []string {
 	out := make([]string, n)
 	for i := range out {
 		w := workload.Layered(layers, width, density, seed+int64(i)).
 			WithShortcuts(width).
 			WithDecisions(1)
+		if services > 0 {
+			w = w.WithServices(services)
+		}
 		out[i] = dscl.PrintDocument(&dscl.Document{
 			Proc: w.Proc, Deps: w.Deps, Extra: core.NewConstraintSet(w.Proc),
 		})
@@ -249,7 +262,7 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent client routines")
 	duration := flag.Duration("duration", 30*time.Second, "run length")
 	requests := flag.Int64("requests", 0, "stop after N total requests (0 = duration-bound)")
-	mixFlag := flag.String("mix", "read-heavy", `read-heavy | write-heavy | scan, or "class=weight,..."`)
+	mixFlag := flag.String("mix", "read-heavy", `read-heavy | write-heavy | scan | decentral, or "class=weight,..."`)
 	procs := flag.Int("procs", 8, "distinct generated processes")
 	layers := flag.Int("layers", 4, "workload ranks per process")
 	width := flag.Int("width", 3, "activities per rank")
@@ -268,7 +281,8 @@ func main() {
 		fatal(err)
 	}
 
-	sources := genSources(*procs, *layers, *width, *density, *seed)
+	sources := genSources(*procs, *layers, *width, *density, *seed, 0)
+	enactSources := genSources(*procs, *layers, *width, *density, *seed, 2)
 	base := strings.TrimRight(*addr, "/")
 	httpc := &http.Client{Timeout: 60 * time.Second}
 
@@ -302,6 +316,11 @@ func main() {
 		case "simulate":
 			src := sources[rng.Intn(len(sources))]
 			code, id, err = post(httpc, base+"/v1/simulate", map[string]any{
+				"source": src, "timeout_ms": 10000,
+			})
+		case "enact":
+			src := enactSources[rng.Intn(len(enactSources))]
+			code, id, err = post(httpc, base+"/v1/enact", map[string]any{
 				"source": src, "timeout_ms": 10000,
 			})
 		case "runs":

@@ -34,6 +34,15 @@
 //	-queue-wait D    max wait for a pool slot before shedding (default 2s)
 //	-verdict-cache N cross-run minimize verdict cache entries
 //	                 (0 = 256 default, negative disables)
+//	-fabric-token T  shared bearer secret for the inter-node enactment
+//	                 surface (/v1/transport/invoke, /v1/enact/join);
+//	                 every member of a multi-process enactment must
+//	                 agree on it
+//	-chaos-net SPEC  seeded network-fault plan injected into outgoing
+//	                 enactment frames (chaos testing), e.g.
+//	                 '*>*:partition=1500ms;lose=2'
+//	-chaos-net-seed N
+//	                 seed for -chaos-net (default 1)
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight weaves finish,
 // then the event log closes.
@@ -49,6 +58,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dscweaver/internal/chaos"
 	"dscweaver/internal/server"
 )
 
@@ -63,6 +73,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "weave worker pool size (0 = GOMAXPROCS)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for a pool slot before shedding with 429 (0 = 2s default)")
 	verdictCache := flag.Int("verdict-cache", 0, "cross-run minimize verdict cache size in entries (0 = 256 default, negative disables)")
+	fabricToken := flag.String("fabric-token", "", "shared bearer secret for the inter-node enactment surface")
+	chaosNet := flag.String("chaos-net", "", "seeded network-fault plan for outgoing enactment frames, e.g. '*>*:partition=1500ms;lose=2'")
+	chaosNetSeed := flag.Int64("chaos-net-seed", 1, "seed for -chaos-net")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dscweaverd [flags]")
@@ -104,6 +117,17 @@ func main() {
 	}
 	if *verdictCache != 0 {
 		cfg.VerdictCacheSize = *verdictCache
+	}
+	if *fabricToken != "" {
+		cfg.FabricToken = *fabricToken
+	}
+	if *chaosNet != "" {
+		net, err := chaos.ParseNetSpec(*chaosNet, *chaosNetSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FabricWrap = net.RoundTripper
+		fmt.Fprintf(os.Stderr, "dscweaverd: CHAOS fabric plan %s (seed %d)\n", net.Plan(), net.Seed())
 	}
 
 	s, err := server.New(cfg)

@@ -30,6 +30,7 @@ package enact
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,6 +44,22 @@ import (
 	"dscweaver/internal/schedule"
 	"dscweaver/internal/services"
 )
+
+// PartitionedPeerError is the crisp failure shape for an unreachable
+// peer: the fabric's retry budget elapsed on a note send to Host. The
+// run fails with this error instead of a generic engine timeout, so an
+// operator (and the chaos suite) can tell a partitioned link from a
+// slow process.
+type PartitionedPeerError struct {
+	Host string
+	Err  error
+}
+
+func (e *PartitionedPeerError) Error() string {
+	return fmt.Sprintf("enact: peer %s partitioned: %v", e.Host, e.Err)
+}
+
+func (e *PartitionedPeerError) Unwrap() error { return e.Err }
 
 // Note is one activity transition annotated with the node that
 // committed it.
@@ -323,16 +340,31 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		EdgeMessages:    int(edgeMsgs.Load()),
 		OutcomeMessages: int(outcomeMsgs.Load()),
 	}
-	for _, nd := range nodes {
-		if nd.err != nil {
-			return res, fmt.Errorf("enact: node %s: %w", nd.host, nd.err)
-		}
-	}
+	// A failed send cancels the run context, so every node "fails" with
+	// a canceled engine — the send error is the cause and must win, or
+	// a partitioned peer would surface as a generic cancellation.
 	sendErrMu.Lock()
 	serr := sendErr
 	sendErrMu.Unlock()
 	if serr != nil {
+		var ppe *PartitionedPeerError
+		if errors.As(serr, &ppe) {
+			if opts.Metrics != nil {
+				opts.Metrics.Counter("enact_partition_total", "host", ppe.Host).Inc()
+			}
+			if opts.Events != nil {
+				opts.Events.Emit(obs.Stamp(obs.Event{
+					Kind: obs.EvPartition, Layer: obs.LayerTransport,
+					Service: ppe.Host, Err: ppe.Err.Error(),
+				}))
+			}
+		}
 		return res, serr
+	}
+	for _, nd := range nodes {
+		if nd.err != nil {
+			return res, fmt.Errorf("enact: node %s: %w", nd.host, nd.err)
+		}
 	}
 	if full {
 		tr, err := Merge(opts.Set.Proc, res.Began, res.Ended, res.Notes)

@@ -86,6 +86,13 @@ const (
 	EvWeaveEnd   = "weave_end"
 	EvStageBegin = "stage_begin"
 	EvStageEnd   = "stage_end"
+
+	// Inter-node fabric faults (Service names the peer host).
+	// retransmit: the receiver absorbed a duplicate frame via the
+	// (from, seq) idempotency cache. partition: a note send exhausted
+	// its retry budget against an unreachable peer and failed the run.
+	EvRetransmit = "retransmit"
+	EvPartition  = "partition"
 )
 
 var (

@@ -162,6 +162,10 @@ type engineMetrics struct {
 	slotWait    *obs.Histogram // wait attributable to the Workers cap
 	maxParallel *obs.Gauge
 	running     *obs.Gauge
+	// remoteDups counts remote notes whose transition was already on
+	// the board — broadcast fan-in and fabric retransmits/duplicates,
+	// absorbed idempotently.
+	remoteDups *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -179,6 +183,7 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		slotWait:    r.Histogram("schedule_slot_wait_seconds", obs.DurationBuckets),
 		maxParallel: r.Gauge("schedule_max_parallel"),
 		running:     r.Gauge("schedule_running"),
+		remoteDups:  r.Counter("schedule_remote_dup_total"),
 	}
 }
 
@@ -382,7 +387,9 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 					if !ok {
 						return
 					}
-					e.applyRemote(b, n)
+					if !e.applyRemote(b, n) && e.m != nil {
+						e.m.remoteDups.Inc()
+					}
 				case <-done:
 					return
 				}

@@ -68,13 +68,17 @@ func (e *Engine) publish(n Note) {
 // applyRemote commits a peer's transition onto the local board:
 // happened points for gating, outcomes for guard evaluation, skips for
 // dead-path release. Idempotent — the enactment layer may deliver a
-// broadcast note more than once. The remote stamp advances the local
-// clock (Lamport receive); remote points get local sequence numbers so
-// edge release stays a nonzero test.
-func (e *Engine) applyRemote(b *board, n Note) {
+// broadcast note more than once, and a lossy fabric may retransmit or
+// duplicate any note. Returns false when the transition had already
+// been applied (the duplicate was absorbed), which the engine counts
+// so exactly-once application is observable, not just assumed. The
+// remote stamp advances the local clock (Lamport receive); remote
+// points get local sequence numbers so edge release stays a nonzero
+// test.
+func (e *Engine) applyRemote(b *board, n Note) (fresh bool) {
 	act, ok := e.proc.Activity(n.Activity)
 	if !ok {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -87,20 +91,24 @@ func (e *Engine) applyRemote(b *board, n Note) {
 			b.seq++
 			b.happened[core.PointOf(n.Activity, core.Start)] = b.seq
 			b.happened[core.PointOf(n.Activity, core.Run)] = b.seq
+			fresh = true
 		}
 	case NoteFinish:
 		if b.happened[core.PointOf(n.Activity, core.Finish)] == 0 {
 			b.seq++
 			b.happened[core.PointOf(n.Activity, core.Finish)] = b.seq
+			fresh = true
 		}
 		if act.Kind == core.KindDecision && n.Branch != "" {
 			b.outcomes[string(n.Activity)] = n.Branch
 		}
 	case NoteSkip:
+		fresh = !b.skipped[n.Activity]
 		b.skipped[n.Activity] = true
 		if act.Kind == core.KindDecision {
 			b.outcomes[string(n.Activity)] = SkippedBranch
 		}
 	}
 	b.cond.Broadcast()
+	return fresh
 }

@@ -28,6 +28,8 @@ import (
 	"bytes"
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -198,18 +200,46 @@ const enactDoneTTL = 5 * time.Minute
 
 // dropEnactTransport retires a finished enactment, leaving a
 // tombstone: a peer may still have frames for this run in flight, and
-// those must be acknowledged, not 404ed into retry loops.
+// those must be acknowledged, not 404ed into retry loops. Expired
+// tombstones are swept by the server's maintenance ticker — not here,
+// where a coordinator that stops enacting would hold them forever.
 func (s *Server) dropEnactTransport(id string) {
-	now := time.Now()
 	s.enactMu.Lock()
 	delete(s.enactTransports, id)
+	s.enactDone[id] = time.Now()
+	s.enactMu.Unlock()
+}
+
+// sweepEnactDone drops tombstones older than the TTL. Called from the
+// maintenance ticker.
+func (s *Server) sweepEnactDone(now time.Time) {
+	s.enactMu.Lock()
 	for k, at := range s.enactDone {
-		if now.Sub(at) > enactDoneTTL {
+		if now.Sub(at) > s.enactTTL {
 			delete(s.enactDone, k)
 		}
 	}
-	s.enactDone[id] = now
 	s.enactMu.Unlock()
+}
+
+// fabricAuthorized checks the shared-secret bearer token on the
+// inter-node surface. With no token configured everything passes (the
+// reproduction's localhost scope); with one, the comparison is
+// constant-time over SHA-256 digests so neither length nor content
+// leaks through timing. A rejection answers 401, which the sender's
+// retry loop classifies permanent — a bad secret fails the run at the
+// first frame instead of retry-storming the peer.
+func (s *Server) fabricAuthorized(r *http.Request) bool {
+	if s.cfg.FabricToken == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return false
+	}
+	want := sha256.Sum256([]byte(s.cfg.FabricToken))
+	have := sha256.Sum256([]byte(got))
+	return subtle.ConstantTimeCompare(want[:], have[:]) == 1
 }
 
 // handleTransportInvoke is the shared frame endpoint for every live
@@ -217,6 +247,10 @@ func (s *Server) dropEnactTransport(id string) {
 // transient classification — so frames racing a peer's registration
 // retry through the warm-up window instead of failing the run.
 func (s *Server) handleTransportInvoke(w http.ResponseWriter, r *http.Request) {
+	if !s.fabricAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, errors.New("fabric: missing or wrong bearer token"))
+		return
+	}
 	var f services.Frame
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&f); err != nil {
@@ -288,12 +322,28 @@ func (f *httpFabric) Register(host string, deliver func(enact.Note)) error {
 }
 
 func (f *httpFabric) Send(host string, n enact.Note) error {
-	return f.t.Call("node:"+host, "note", n)
+	err := f.t.Call("node:"+host, "note", n)
+	if errors.Is(err, services.ErrBudgetExhausted) {
+		// The retry budget elapsed without the peer ever answering:
+		// name the unreachable host instead of failing with a generic
+		// timeout somewhere downstream.
+		return &enact.PartitionedPeerError{Host: host, Err: err}
+	}
+	return err
 }
 
 // Close is a no-op: the handler owns the transport (it outlives the
 // fabric — peers may retransmit frames until the run unregisters).
 func (f *httpFabric) Close() {}
+
+// fabricClient builds the HTTP client for one enactment transport,
+// threading the configured chaos wrap (nil = the default client).
+func (s *Server) fabricClient(node string) *http.Client {
+	if s.cfg.FabricWrap == nil {
+		return nil
+	}
+	return &http.Client{Transport: s.cfg.FabricWrap(node, http.DefaultTransport)}
+}
 
 // decodeNote rebuilds a Note from the transport's decoded-JSON
 // payload.
@@ -527,6 +577,8 @@ func (s *Server) enactCoordinated(ctx context.Context, q *EnactRequest, out *wea
 		Run:     runID,
 		Node:    "coord:" + myHosts[0],
 		Routes:  routes,
+		Client:  s.fabricClient("coord:" + myHosts[0]),
+		Token:   s.cfg.FabricToken,
 		Retry:   fabricRetry(enactTimeout(&q.SimulateRequest)),
 		Metrics: s.reg,
 		Events:  sink,
@@ -568,7 +620,7 @@ func (s *Server) enactCoordinated(ctx context.Context, q *EnactRequest, out *wea
 			defer wg.Done()
 			jq := join
 			jq.Hosts = hosts
-			jr, err := postEnactJoin(runCtx, url, &jq)
+			jr, err := s.postEnactJoin(runCtx, url, &jq)
 			if err != nil {
 				peerErrs[i] = fmt.Errorf("peer %s: %w", url, err)
 				cancelRun()
@@ -656,7 +708,7 @@ func partitionJSON(part decentral.Partition) map[string]string {
 }
 
 // postEnactJoin ships one peer its slice and waits for its notes.
-func postEnactJoin(ctx context.Context, baseURL string, q *EnactJoinRequest) (*EnactJoinResponse, error) {
+func (s *Server) postEnactJoin(ctx context.Context, baseURL string, q *EnactJoinRequest) (*EnactJoinResponse, error) {
 	body, err := json.Marshal(q)
 	if err != nil {
 		return nil, err
@@ -666,6 +718,9 @@ func postEnactJoin(ctx context.Context, baseURL string, q *EnactJoinRequest) (*E
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if s.cfg.FabricToken != "" {
+		req.Header.Set("Authorization", "Bearer "+s.cfg.FabricToken)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -691,6 +746,10 @@ func postEnactJoin(ctx context.Context, baseURL string, q *EnactJoinRequest) (*E
 // fabric. Errors answer non-200; the coordinator folds them into its
 // in-band Error.
 func (s *Server) handleEnactJoin(w http.ResponseWriter, r *http.Request) {
+	if !s.fabricAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, errors.New("fabric: missing or wrong bearer token"))
+		return
+	}
 	q, err := decodeEnactJoinRequest(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -753,6 +812,8 @@ func (s *Server) runEnactJoin(ctx context.Context, q *EnactJoinRequest, rn *run,
 		Run:     q.RunID,
 		Node:    "join:" + q.Hosts[0],
 		Routes:  routes,
+		Client:  s.fabricClient("join:" + q.Hosts[0]),
+		Token:   s.cfg.FabricToken,
 		Retry:   fabricRetry(enactTimeout(&q.SimulateRequest)),
 		Metrics: s.reg,
 		Events:  sink,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"testing"
 
 	"dscweaver/internal/server"
@@ -162,4 +163,54 @@ func listRuns(t *testing.T, base string) []server.RunSummary {
 		t.Fatal(err)
 	}
 	return out
+}
+
+// TestEnactFabricToken guards the shared-secret surface: two processes
+// agreeing on a fabric token enact normally; a coordinator holding the
+// wrong secret is refused at the peer's join endpoint with a fast
+// in-band error — no retry storm, no partial run left behind.
+func TestEnactFabricToken(t *testing.T) {
+	newTokenServer := func(token string) *httptest.Server {
+		s, err := server.New(server.Config{WeaveParallelism: 2, FabricToken: token})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Shutdown()
+		})
+		return ts
+	}
+	coord := newTokenServer("s3cret")
+	peer := newTokenServer("s3cret")
+
+	req := server.EnactRequest{
+		SimulateRequest: server.SimulateRequest{
+			WeaveRequest: server.WeaveRequest{Source: purchasingSource(t)},
+			Branches:     map[string]string{"if_au": "T"},
+		},
+		Peers:   []string{peer.URL},
+		SelfURL: coord.URL,
+	}
+	var er server.EnactResponse
+	code, raw := postJSON(t, coord.URL+"/v1/enact", req, &er)
+	if code != http.StatusOK {
+		t.Fatalf("enact with matching tokens: %d %s", code, raw)
+	}
+	checkEnactResponse(t, &er, raw)
+
+	strayPeer := newTokenServer("different")
+	req.Peers = []string{strayPeer.URL}
+	var bad server.EnactResponse
+	code, raw = postJSON(t, coord.URL+"/v1/enact", req, &bad)
+	if code != http.StatusOK {
+		t.Fatalf("enact transport: %d %s", code, raw)
+	}
+	if bad.Error == "" {
+		t.Fatalf("token mismatch enacted cleanly: %s", raw)
+	}
+	if !strings.Contains(bad.Error, "bearer token") {
+		t.Errorf("mismatch error does not name the token refusal: %s", bad.Error)
+	}
 }

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepEnactDoneDropsExpiredTombstones: sweepEnactDone retires
+// tombstones strictly older than the TTL and keeps the rest — the
+// late-frame 409 guard must outlive stragglers but not the process.
+func TestSweepEnactDoneDropsExpiredTombstones(t *testing.T) {
+	s, err := New(Config{StoreReprobe: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	now := time.Now()
+	s.enactMu.Lock()
+	s.enactDone["stale"] = now.Add(-s.enactTTL - time.Second)
+	s.enactDone["fresh"] = now
+	s.enactMu.Unlock()
+
+	s.sweepEnactDone(now)
+
+	s.enactMu.Lock()
+	_, stale := s.enactDone["stale"]
+	_, fresh := s.enactDone["fresh"]
+	s.enactMu.Unlock()
+	if stale {
+		t.Fatal("expired tombstone survived the sweep")
+	}
+	if !fresh {
+		t.Fatal("fresh tombstone was swept before its TTL")
+	}
+}
+
+// TestMaintenanceTickerSweepsTombstones: the regression this guards —
+// tombstone expiry used to run only inside dropEnactTransport, so a
+// coordinator that stopped enacting held its last tombstones forever.
+// The maintenance ticker must sweep them on its own.
+func TestMaintenanceTickerSweepsTombstones(t *testing.T) {
+	s, err := New(Config{StoreReprobe: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	s.enactMu.Lock()
+	s.enactTTL = 20 * time.Millisecond
+	s.enactMu.Unlock()
+	s.dropEnactTransport("r1")
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		s.enactMu.Lock()
+		n := len(s.enactDone)
+		s.enactMu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("maintenance ticker never swept the expired tombstone")
+}

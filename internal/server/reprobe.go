@@ -5,23 +5,26 @@ import (
 	"time"
 )
 
-// reprobeLoop is the background heal path for the persistent run
-// store: while a write fault holds the store in degraded memory-only
-// mode, every tick retries opening it in place (store.Reprobe). The
-// moment the disk takes writes again, finished runs that exist only in
-// the in-memory ring are re-appended to the store, so a transient disk
-// fault costs durability only for the window it was actually broken —
-// not until the next restart.
-func (s *Server) reprobeLoop(every time.Duration) {
-	defer close(s.reprobeDone)
+// maintenanceLoop is the server's background ticker. Every tick it
+// sweeps expired enactment tombstones — a quiet coordinator must not
+// hold them until its next enactment — and, with a persistent run
+// store attached, runs the store heal path: while a write fault holds
+// the store in degraded memory-only mode, each tick retries opening it
+// in place (store.Reprobe). The moment the disk takes writes again,
+// finished runs that exist only in the in-memory ring are re-appended
+// to the store, so a transient disk fault costs durability only for
+// the window it was actually broken — not until the next restart.
+func (s *Server) maintenanceLoop(every time.Duration) {
+	defer close(s.maintDone)
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
-		case <-s.reprobeStop:
+		case <-s.maintStop:
 			return
 		case <-t.C:
-			if !s.store.Degraded() {
+			s.sweepEnactDone(time.Now())
+			if s.store == nil || !s.store.Degraded() {
 				continue
 			}
 			if s.store.Reprobe() {

@@ -101,6 +101,17 @@ type Config struct {
 	// ring, so a write fault no longer requires a restart to recover
 	// from (default 15s; negative disables).
 	StoreReprobe time.Duration
+	// FabricToken, when set, guards the inter-node enactment surface
+	// (POST /v1/transport/invoke and /v1/enact/join) with a shared
+	// bearer secret: requests without it answer 401, and this server
+	// sends it on every outgoing frame and join. Every member of a
+	// multi-process enactment must agree on the token.
+	FabricToken string
+	// FabricWrap, when set, wraps the HTTP round tripper used for
+	// outgoing enactment frames, keyed by this process's node name —
+	// the chaos seam for network-fault injection on the live fabric
+	// (see chaos.Net.RoundTripper). Nil uses the default transport.
+	FabricWrap func(node string, inner http.RoundTripper) http.RoundTripper
 	// EventsPath, when set, appends every run's events to a rotating
 	// JSONL log at this path.
 	EventsPath string
@@ -182,6 +193,7 @@ type fileConfig struct {
 	StoreMaxSegments int                  `json:"store_max_segments"`
 	StoreFsync       bool                 `json:"store_fsync"`
 	StoreReprobe     string               `json:"store_reprobe"`
+	FabricToken      string               `json:"fabric_token"`
 	EventsPath       string               `json:"events_path"`
 	LogMaxBytes      int64                `json:"log_max_bytes"`
 	LogMaxAge        string               `json:"log_max_age"`
@@ -215,6 +227,7 @@ func LoadConfig(path string) (Config, error) {
 		StoreSegmentBytes: fc.StoreSegBytes,
 		StoreMaxSegments:  fc.StoreMaxSegments,
 		StoreFsync:        fc.StoreFsync,
+		FabricToken:       fc.FabricToken,
 		EventsPath:        fc.EventsPath,
 		LogMaxBytes:       fc.LogMaxBytes,
 		LogMaxFiles:       fc.LogMaxFiles,
@@ -271,7 +284,9 @@ type Server struct {
 	// enactDone tombstones recently finished enactments: late frames
 	// for them are acknowledged (a completed partition provably needs
 	// no more notes) instead of stalling the sender in 404 retries.
+	// The maintenance ticker sweeps entries older than enactTTL.
 	enactDone map[string]time.Time
+	enactTTL  time.Duration
 
 	// abortCtx is canceled when Shutdown's drain deadline passes: every
 	// in-flight weave context is derived from the request context AND
@@ -294,10 +309,11 @@ type Server struct {
 	// degrade heal (memory-only runs made durable again).
 	backfilled *obs.Counter // server_store_backfill_runs_total
 
-	// reprobeStop/reprobeDone bound the background store re-probe loop
-	// (nil when no store is attached or re-probing is disabled).
-	reprobeStop chan struct{}
-	reprobeDone chan struct{}
+	// maintStop/maintDone bound the background maintenance loop:
+	// enactment tombstone sweeps plus, with a store attached, degraded
+	// store re-probing (nil when StoreReprobe disables the ticker).
+	maintStop chan struct{}
+	maintDone chan struct{}
 }
 
 // New builds a server from cfg. Histogram bucket overrides are applied
@@ -333,6 +349,7 @@ func New(cfg Config) (*Server, error) {
 		weaveSem:        make(chan struct{}, cfg.WeaveConcurrency),
 		enactTransports: map[string]*services.HTTPTransport{},
 		enactDone:       map[string]time.Time{},
+		enactTTL:        enactDoneTTL,
 	}
 	if cfg.VerdictCacheSize >= 0 {
 		s.vcache = core.NewVerdictCache(cfg.VerdictCacheSize)
@@ -364,10 +381,10 @@ func New(cfg Config) (*Server, error) {
 	s.shedTotal = reg.Counter("server_shed_total")
 	s.eventsTruncated = reg.Counter("server_run_events_truncated_total")
 	s.backfilled = reg.Counter("server_store_backfill_runs_total")
-	if st != nil && cfg.StoreReprobe > 0 {
-		s.reprobeStop = make(chan struct{})
-		s.reprobeDone = make(chan struct{})
-		go s.reprobeLoop(cfg.StoreReprobe)
+	if cfg.StoreReprobe > 0 {
+		s.maintStop = make(chan struct{})
+		s.maintDone = make(chan struct{})
+		go s.maintenanceLoop(cfg.StoreReprobe)
 	}
 
 	mux := http.NewServeMux()
@@ -825,10 +842,10 @@ func (s *Server) Shutdown() error {
 			err = errors.Join(err, fmt.Errorf("drain: %w", ctx.Err()))
 		}
 	}
-	if s.reprobeStop != nil {
-		close(s.reprobeStop)
-		<-s.reprobeDone
-		s.reprobeStop = nil
+	if s.maintStop != nil {
+		close(s.maintStop)
+		<-s.maintDone
+		s.maintStop = nil
 	}
 	if s.rot != nil {
 		err = errors.Join(err, s.rot.Close())

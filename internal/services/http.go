@@ -33,6 +33,13 @@ const DefaultInvokePath = "/v1/transport/invoke"
 // different run than the transport serves.
 var ErrRunMismatch = errors.New("transport: frame for different run")
 
+// ErrBudgetExhausted wraps every send failure caused by running out of
+// retries — the attempt cap or the MaxElapsed budget — against a peer
+// that never answered successfully. Callers classify it as "the peer
+// is unreachable" (the enactment layer maps it to a typed
+// PartitionedPeerError), distinct from a permanent refusal.
+var ErrBudgetExhausted = errors.New("transport: retry budget exhausted")
+
 // Frame is one invocation on the wire.
 type Frame struct {
 	V       int             `json:"v"`
@@ -136,6 +143,10 @@ type HTTPConfig struct {
 	// Breaker arms per-(service,port) circuit breaking on the send path,
 	// sharing the bus's state machine. Nil leaves it off.
 	Breaker *BreakerConfig
+	// Token, when set, is sent as a bearer token on every outgoing
+	// frame; peers requiring one answer 401 (permanent — a bad secret
+	// must not retry-storm).
+	Token string
 	// Metrics / Events instrument the transport (either may be nil).
 	Metrics *obs.Registry
 	Events  obs.Sink
@@ -183,7 +194,8 @@ type HTTPTransport struct {
 	seenMu sync.Mutex
 	seen   map[string]DeliverResult // from\x00seq → replayed result
 
-	retries atomic.Int64
+	retries     atomic.Int64
+	retransmits atomic.Int64
 }
 
 var _ Transport = (*HTTPTransport)(nil)
@@ -257,6 +269,10 @@ func (t *HTTPTransport) Inbox() <-chan Callback { return t.inbox }
 
 // Retries reports how many send attempts were retried.
 func (t *HTTPTransport) Retries() int64 { return t.retries.Load() }
+
+// Retransmits reports how many incoming frames were absorbed as
+// (from, seq) replays instead of re-executed.
+func (t *HTTPTransport) Retransmits() int64 { return t.retransmits.Load() }
 
 func (t *HTTPTransport) deliver(cb Callback) {
 	if cb.Err != nil {
@@ -442,8 +458,8 @@ func (t *HTTPTransport) post(url string, f Frame) (DeliverResult, error) {
 		if attempt > 0 {
 			delay := t.backoff(attempt)
 			if t.retry.MaxElapsed > 0 && time.Since(start)+delay > t.retry.MaxElapsed {
-				return DeliverResult{}, fmt.Errorf("retry budget %v exhausted after %d attempts: %w",
-					t.retry.MaxElapsed, attempt, lastErr)
+				return DeliverResult{}, fmt.Errorf("%w: %v elapsed budget after %d attempts: %v",
+					ErrBudgetExhausted, t.retry.MaxElapsed, attempt, lastErr)
 			}
 			t.retries.Add(1)
 			if c := t.counter("transport_retries_total", f.Service, f.Port); c != nil {
@@ -451,7 +467,15 @@ func (t *HTTPTransport) post(url string, f Frame) (DeliverResult, error) {
 			}
 			time.Sleep(delay)
 		}
-		resp, err := t.client.Post(endpoint, "application/json", bytes.NewReader(body))
+		req, rqerr := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+		if rqerr != nil {
+			return DeliverResult{}, Permanent(rqerr)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if t.cfg.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+t.cfg.Token)
+		}
+		resp, err := t.client.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("%v: %w", err, ErrTransient)
 			continue
@@ -479,7 +503,7 @@ func (t *HTTPTransport) post(url string, f Frame) (DeliverResult, error) {
 			return DeliverResult{}, Permanent(fmt.Errorf("peer %s: %s", resp.Status, bytes.TrimSpace(data)))
 		}
 	}
-	return DeliverResult{}, fmt.Errorf("%d attempts exhausted: %w", t.retry.MaxAttempts, lastErr)
+	return DeliverResult{}, fmt.Errorf("%w: %d attempts: %v", ErrBudgetExhausted, t.retry.MaxAttempts, lastErr)
 }
 
 // backoff computes the delay before the attempt'th retry: exponential,
@@ -517,6 +541,15 @@ func (t *HTTPTransport) Deliver(f Frame) (DeliverResult, error) {
 	t.seenMu.Lock()
 	if res, ok := t.seen[key]; ok {
 		t.seenMu.Unlock()
+		// A replayed (from, seq): the sender retransmitted after a lost
+		// response, or the network duplicated the frame. Either way the
+		// effect already happened — count the absorption and answer the
+		// cached result.
+		t.retransmits.Add(1)
+		if c := t.counter("transport_retransmit_total", f.Service, f.Port); c != nil {
+			c.Inc()
+		}
+		t.emit(obs.Event{Kind: obs.EvRetransmit, Service: f.Service, Port: f.Port, Detail: f.From})
 		return res, nil
 	}
 	t.seenMu.Unlock()

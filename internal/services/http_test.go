@@ -281,3 +281,144 @@ func TestHTTPInvokeStructuralErrors(t *testing.T) {
 		t.Errorf("register on closed transport: %v, want ErrBusClosed", err)
 	}
 }
+
+// TestHTTPFlappingLinkTransientToPermanent: a link that flaps from
+// transient faults (503) to a permanent refusal (400) mid-send must
+// retry through the transient phase and stop dead at the permanent
+// answer — exactly one attempt sees the 400, none follow it.
+func TestHTTPFlappingLinkTransientToPermanent(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "link down", http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, "malformed frame", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	local := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"svc": srv.URL}, Retry: fastRetry(),
+	})
+	if err := local.Invoke("svc", "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	cb := <-local.Inbox()
+	if !errors.Is(cb.Err, ErrPermanent) {
+		t.Fatalf("callback err = %v, want permanent after the flap", cb.Err)
+	}
+	if errors.Is(cb.Err, ErrBudgetExhausted) {
+		t.Fatalf("permanent refusal misclassified as budget exhaustion: %v", cb.Err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want exactly 3 (2 transient + 1 permanent)", hits.Load())
+	}
+	if local.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", local.Retries())
+	}
+	local.Close()
+}
+
+// TestHTTPRetryBudgetExhaustedTyped: both exhaustion paths — the
+// attempt cap and the MaxElapsed budget — must wrap
+// ErrBudgetExhausted, the typed signal the enactment layer maps to a
+// PartitionedPeerError.
+func TestHTTPRetryBudgetExhaustedTyped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "peer down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	byAttempts := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"svc": srv.URL},
+		Retry: HTTPRetry{MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	err := byAttempts.Call("svc", "p", nil)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("attempt-cap exhaustion: err = %v, want ErrBudgetExhausted", err)
+	}
+	byAttempts.Close()
+
+	byElapsed := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"svc": srv.URL},
+		Retry: HTTPRetry{MaxAttempts: 1000, Backoff: 5 * time.Millisecond,
+			MaxBackoff: 5 * time.Millisecond, MaxElapsed: 15 * time.Millisecond},
+	})
+	err = byElapsed.Call("svc", "p", nil)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("elapsed-budget exhaustion: err = %v, want ErrBudgetExhausted", err)
+	}
+	byElapsed.Close()
+}
+
+// TestHTTPBackoffBounds: the attempt'th delay is exponential with
+// half-jitter — always within [base/2, base] for base =
+// min(Backoff·Multiplier^(attempt−1), MaxBackoff).
+func TestHTTPBackoffBounds(t *testing.T) {
+	tr := NewHTTPTransport(HTTPConfig{Retry: HTTPRetry{
+		Backoff: 10 * time.Millisecond, Multiplier: 2,
+		MaxBackoff: 80 * time.Millisecond, Seed: 3,
+	}})
+	defer tr.Close()
+	for attempt := 1; attempt <= 8; attempt++ {
+		base := float64(10 * time.Millisecond)
+		for i := 1; i < attempt; i++ {
+			base *= 2
+			if base >= float64(80*time.Millisecond) {
+				base = float64(80 * time.Millisecond)
+				break
+			}
+		}
+		for trial := 0; trial < 4; trial++ {
+			d := tr.backoff(attempt)
+			if float64(d) < base/2 || float64(d) > base {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]",
+					attempt, d, time.Duration(base/2), time.Duration(base))
+			}
+		}
+	}
+}
+
+// TestHTTPTokenBearerAuth: a configured token rides every frame as a
+// bearer header; a peer rejecting it with 401 is a permanent refusal —
+// one attempt, no retry storm.
+func TestHTTPTokenBearerAuth(t *testing.T) {
+	remote := NewHTTPTransport(HTTPConfig{Run: "r1", Node: "b"})
+	remote.RegisterLocal("svc", func(c *Call) ([]Emit, error) {
+		return []Emit{{Tag: "out", Payload: "ok"}}, nil
+	})
+	inner := serveTransport(t, remote)
+	var hits atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Header.Get("Authorization") != "Bearer s3cret" {
+			http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
+		inner.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+
+	good := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "a", Routes: map[string]string{"svc": gate.URL},
+		Retry: fastRetry(), Token: "s3cret",
+	})
+	if err := good.Call("svc", "p", nil); err != nil {
+		t.Fatalf("authorized call failed: %v", err)
+	}
+	good.Close()
+
+	hits.Store(0)
+	bad := NewHTTPTransport(HTTPConfig{
+		Run: "r1", Node: "c", Routes: map[string]string{"svc": gate.URL},
+		Retry: fastRetry(),
+	})
+	err := bad.Call("svc", "p", nil)
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("tokenless call: err = %v, want permanent 401", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("401 was retried: %d attempts, want 1", hits.Load())
+	}
+	bad.Close()
+	remote.Close()
+}
